@@ -1,0 +1,43 @@
+//! Criterion micro-benchmarks of the Elmore forward/backward passes
+//! (Fig. 5): the per-net kernels of the differentiable timer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dtp_netlist::Point;
+use dtp_rsmt::SteinerTree;
+use dtp_sta::ElmoreNet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_tree(deg: usize, seed: u64) -> (SteinerTree, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pins: Vec<Point> = (0..deg)
+        .map(|_| Point::new(rng.gen_range(0.0..200.0), rng.gen_range(0.0..200.0)))
+        .collect();
+    let caps = vec![1.5; deg];
+    (SteinerTree::build(&pins), caps)
+}
+
+fn bench_elmore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("elmore");
+    for deg in [2usize, 4, 8, 16, 32] {
+        let (tree, caps) = random_tree(deg, deg as u64);
+        group.bench_with_input(BenchmarkId::new("forward", deg), &deg, |b, _| {
+            b.iter(|| black_box(ElmoreNet::forward(&tree, &caps, 0.1, 0.2)))
+        });
+        let e = ElmoreNet::forward(&tree, &caps, 0.1, 0.2);
+        let mut seeds = dtp_sta::ElmoreSeeds::zeros(tree.num_nodes());
+        for i in 1..deg {
+            seeds.grad_delay[i] = 1.0;
+            seeds.grad_impulse_sq[i] = 0.1;
+        }
+        seeds.grad_root_load = 0.5;
+        group.bench_with_input(BenchmarkId::new("backward", deg), &deg, |b, _| {
+            b.iter(|| black_box(e.backward(&tree, &seeds)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_elmore);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benchmarks of the wirelength and density kernels — the
+//! non-timing per-iteration costs of the placement loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dtp_liberty::synth::synthetic_pdk;
+use dtp_netlist::generate::{generate, GeneratorConfig};
+use dtp_place::{DensityModel, WirelengthModel};
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let _ = synthetic_pdk(); // warm the shared tables
+    let mut group = c.benchmark_group("place_kernels");
+    group.sample_size(20);
+    for cells in [1000usize, 5000] {
+        let design = generate(&GeneratorConfig::named("bench", cells))
+            .expect("generator succeeds");
+        let (xs, ys) = design.netlist.positions();
+        let wl = WirelengthModel::new(&design.netlist);
+        group.bench_with_input(BenchmarkId::new("hpwl", cells), &cells, |b, _| {
+            b.iter(|| black_box(wl.hpwl(&xs, &ys)))
+        });
+        group.bench_with_input(BenchmarkId::new("wa_gradient", cells), &cells, |b, _| {
+            b.iter(|| black_box(wl.wa_gradient(&xs, &ys, 2.0, None)))
+        });
+        for bins in [64usize, 128] {
+            let density = DensityModel::new(&design, bins, bins, 1.0);
+            group.bench_with_input(
+                BenchmarkId::new(format!("density_{bins}"), cells),
+                &cells,
+                |b, _| b.iter(|| black_box(density.compute(&xs, &ys))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

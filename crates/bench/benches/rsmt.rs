@@ -1,0 +1,52 @@
+//! Criterion benchmarks of Steiner-tree construction (the FLUTE substitute):
+//! per-net build at various degrees, whole-forest build, and the cheap
+//! branch-update path used between rebuilds (§3.6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dtp_netlist::generate::{generate, GeneratorConfig};
+use dtp_netlist::Point;
+use dtp_rsmt::{build_forest, SteinerTree};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_tree_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rsmt_build");
+    let mut rng = StdRng::seed_from_u64(7);
+    for deg in [2usize, 3, 4, 8, 16, 48] {
+        let pins: Vec<Point> = (0..deg)
+            .map(|_| Point::new(rng.gen_range(0.0..500.0), rng.gen_range(0.0..500.0)))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(deg), &deg, |b, _| {
+            b.iter(|| black_box(SteinerTree::build(&pins)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_forest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rsmt_forest");
+    group.sample_size(20);
+    for cells in [1000usize, 5000] {
+        let design = generate(&GeneratorConfig::named("bench", cells))
+            .expect("generator succeeds");
+        group.bench_with_input(BenchmarkId::new("build", cells), &cells, |b, _| {
+            b.iter(|| black_box(build_forest(&design.netlist)))
+        });
+        let forest = build_forest(&design.netlist);
+        group.bench_with_input(BenchmarkId::new("update", cells), &cells, |b, _| {
+            b.iter_batched(
+                || forest.clone(),
+                |mut f| {
+                    f.update_positions(&design.netlist);
+                    black_box(f)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree_build, bench_forest);
+criterion_main!(benches);

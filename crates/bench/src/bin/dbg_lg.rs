@@ -1,0 +1,15 @@
+fn main() {
+    use dtp_netlist::generate::{generate, GeneratorConfig};
+    let mut cfg = GeneratorConfig::named("pl", 192);
+    cfg.seed = 229;
+    let d = generate(&cfg).unwrap();
+    println!("region {} util {:.3} rows {}", d.region, d.utilization(), d.rows.len());
+    let total_w: f64 = d.netlist.movable_cells().map(|c| d.netlist.class_of(c).width()).sum();
+    let cap: f64 = d.rows.iter().map(|r| r.x_max - r.x_min).sum();
+    println!("total movable width {total_w:.1}, row capacity {cap:.1}, ratio {:.3}", total_w/cap);
+    let mut n_right = 0;
+    for c in d.netlist.movable_cells() {
+        if d.netlist.cell(c).pos().x > d.region.xh - 6.0 { n_right += 1; }
+    }
+    println!("cells within 6um of right edge: {n_right}");
+}

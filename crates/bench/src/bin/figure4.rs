@@ -1,0 +1,79 @@
+//! Quantifies **Figure 4**: when pins move slightly, Steiner points ride
+//! along with their tree branches instead of being recomputed. This binary
+//! measures the fidelity of the branch-update approximation: for increasing
+//! pin perturbations it reports the wirelength error of the updated tree
+//! against a freshly rebuilt tree, and the error of the Elmore delays — the
+//! quantities the paper trades for the 10× reduction in FLUTE calls (§3.6).
+//!
+//! Usage: `cargo run -p dtp-bench --release --bin figure4`
+
+use dtp_netlist::Point;
+use dtp_rsmt::SteinerTree;
+use dtp_sta::ElmoreNet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let degrees = [3usize, 5, 8, 12, 20];
+    let perturbations = [0.1f64, 0.5, 1.0, 2.0, 5.0, 10.0];
+    println!(
+        "{:<8} {:<8} {:>12} {:>12} {:>12}",
+        "degree", "move", "WL err %", "delay err %", "rebuild WL"
+    );
+    println!("{}", "-".repeat(58));
+    for &deg in &degrees {
+        for &pert in &perturbations {
+            let mut wl_err = 0.0;
+            let mut delay_err = 0.0;
+            let mut wl_base = 0.0;
+            const TRIALS: usize = 50;
+            for _ in 0..TRIALS {
+                let pins: Vec<Point> = (0..deg)
+                    .map(|_| Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+                    .collect();
+                let mut tree = SteinerTree::build(&pins);
+                let moved: Vec<Point> = pins
+                    .iter()
+                    .map(|p| {
+                        Point::new(
+                            p.x + rng.gen_range(-pert..pert),
+                            p.y + rng.gen_range(-pert..pert),
+                        )
+                    })
+                    .collect();
+                tree.update_pins(&moved); // Fig. 4 branch update
+                let rebuilt = SteinerTree::build(&moved);
+                let caps = vec![1.0; deg];
+                let e_upd = ElmoreNet::forward(&tree, &caps, 0.1, 0.2);
+                let e_new = ElmoreNet::forward(&rebuilt, &caps, 0.1, 0.2);
+                let wl_u = tree.wirelength();
+                let wl_n = rebuilt.wirelength();
+                wl_err += (wl_u - wl_n).abs() / wl_n.max(1e-9);
+                wl_base += wl_n;
+                // Compare worst sink delays (topologies differ, so compare
+                // the max over sinks — the timing-relevant scalar).
+                let worst = |e: &ElmoreNet, t: &SteinerTree| {
+                    (1..t.num_pins())
+                        .map(|i| e.delay_at(i))
+                        .fold(0.0f64, f64::max)
+                };
+                let du = worst(&e_upd, &tree);
+                let dn = worst(&e_new, &rebuilt);
+                delay_err += (du - dn).abs() / dn.max(1e-9);
+            }
+            println!(
+                "{:<8} {:<8} {:>11.3}% {:>11.3}% {:>12.1}",
+                deg,
+                pert,
+                100.0 * wl_err / TRIALS as f64,
+                100.0 * delay_err / TRIALS as f64,
+                wl_base / TRIALS as f64
+            );
+        }
+    }
+    println!(
+        "\nSmall moves (≤1 um, the per-iteration scale of global placement) keep both\n\
+         errors small, justifying the rebuild-every-10-iterations strategy of §3.6."
+    );
+}

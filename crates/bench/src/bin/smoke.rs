@@ -1,0 +1,34 @@
+//! Quick manual smoke test / hyperparameter probe for the three flows:
+//! runs DREAMPlace, net weighting and several differentiable-timing
+//! configurations on one synthetic design and prints the comparison line
+//! per run. This is the calibration harness that set the crate's default
+//! t1/t2 (see `DiffTimingConfig`); kept for re-tuning on new substrates.
+//!
+//! Usage: `cargo run --release -p dtp-bench --bin smoke [-- num_cells]`
+use dtp_core::{run_flow, DiffTimingConfig, FlowConfig, FlowMode, NetWeightConfig};
+use dtp_liberty::synth::synthetic_pdk;
+use dtp_netlist::generate::{generate, GeneratorConfig};
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2000);
+    let design = generate(&GeneratorConfig::named("smoke", n)).unwrap();
+    let lib = synthetic_pdk();
+    let cfg = FlowConfig::default();
+    let r = run_flow(&design, &lib, FlowMode::Wirelength, &cfg).unwrap();
+    println!("{r}");
+    for boost in [2.0] {
+        let m = FlowMode::NetWeighting(NetWeightConfig { max_boost: boost, ..Default::default() });
+        let r = run_flow(&design, &lib, m, &cfg).unwrap();
+        println!("{r}   (boost {boost})");
+    }
+    for (t1, t2, growth, start) in [
+        (0.04, 0.0004, 1.01, 100usize),
+        (0.04, 0.0001, 1.01, 100),
+        (0.03, 0.0003, 1.01, 80),
+        (0.06, 0.0006, 1.01, 100),
+    ] {
+        let m = FlowMode::Differentiable(DiffTimingConfig { t1, t2, growth, start_iter: start, ..Default::default() });
+        let r = run_flow(&design, &lib, m, &cfg).unwrap();
+        println!("{r}   (t1 {t1} t2 {t2} g {growth} s {start})");
+    }
+}

@@ -1,0 +1,32 @@
+//! Regenerates **Table 2**: benchmark statistics of the (proxy) superblue
+//! suite, next to the paper's reference numbers.
+//!
+//! Usage: `cargo run -p dtp-bench --release --bin table2 [-- scale_denom]`
+//! where `scale_denom` is the down-scaling denominator (default 150, i.e.
+//! 1/150 of the contest cell counts).
+
+use dtp_netlist::generate::{superblue_proxy, DEFAULT_PROXY_SCALE, SUPERBLUE_TABLE2};
+use dtp_netlist::NetlistStats;
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(|d| 1.0 / d)
+        .unwrap_or(DEFAULT_PROXY_SCALE);
+    println!("Table 2: ICCAD-2015 benchmark statistics (proxies at scale {:.5})", scale);
+    println!(
+        "{:<12} {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} {:>6}",
+        "Benchmark", "#Cells*", "#Nets*", "#Pins*", "#Cells", "#Nets", "#Pins", "#Regs"
+    );
+    println!("{}", "-".repeat(88));
+    for &(name, cells, nets, pins) in SUPERBLUE_TABLE2 {
+        let d = superblue_proxy(name, scale).expect("built-in benchmark names are valid");
+        let s = NetlistStats::of(&d.netlist);
+        println!(
+            "{:<12} {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} {:>6}",
+            name, cells, nets, pins, s.num_cells, s.num_nets, s.num_pins, s.num_registers
+        );
+    }
+    println!("* = paper-reported contest sizes; right half = generated proxies");
+}

@@ -1,0 +1,5 @@
+//! Experiment harness for the DAC-2022 differentiable-timing-driven
+//! placement reproduction: binaries regenerating each table/figure plus
+//! Criterion micro-benchmarks. See `DESIGN.md` §3 for the experiment index.
+
+#![forbid(unsafe_code)]

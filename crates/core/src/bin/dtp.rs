@@ -1,0 +1,197 @@
+//! `dtp` — command-line front end for the differentiable-timing-driven
+//! placement library.
+//!
+//! ```text
+//! dtp gen   <name> <cells> <out_dir>        generate a synthetic design (Bookshelf + .lib + .sdc)
+//! dtp sta   <bookshelf_prefix> <lib_file>   timing report for a placed design
+//! dtp place <bookshelf_prefix_or_proxy> [--mode wl|nw|diff] [--out dir] [--svg file]
+//! dtp proxy <sbN> [scale_denom]             print statistics of a superblue proxy
+//! ```
+//!
+//! Designs can be given either as a Bookshelf prefix (path to
+//! `X.{nodes,nets,pl,scl}`) or as a built-in proxy name (`sb1`…`sb18`).
+//! Bookshelf carries no library binding, so `sta`/`place` on Bookshelf input
+//! require the cells to use the synthetic PDK class names.
+
+use dtp_core::{run_flow, FlowConfig, FlowMode};
+use dtp_liberty::synth::synthetic_pdk;
+use dtp_netlist::generate::{generate, superblue_proxy, GeneratorConfig};
+use dtp_netlist::{bookshelf, Design, NetlistStats, Sdc};
+use dtp_place::plot::{render_svg, PlotOptions};
+use dtp_rsmt::build_forest;
+use dtp_sta::{SlackHistogram, Timer, TimingReport};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("sta") => cmd_sta(&args[1..]),
+        Some("place") => cmd_place(&args[1..]),
+        Some("proxy") => cmd_proxy(&args[1..]),
+        _ => {
+            eprintln!("usage: dtp <gen|sta|place|proxy> ... (see --help in the crate docs)");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn load_design(spec: &str) -> Result<Design, Box<dyn std::error::Error>> {
+    if spec.starts_with("sb") || spec.starts_with("superblue") {
+        return Ok(superblue_proxy(spec, dtp_netlist::generate::DEFAULT_PROXY_SCALE)?);
+    }
+    let prefix = Path::new(spec);
+    // ICCAD-2015 bundle (.v + .def) takes precedence; fall back to Bookshelf.
+    if prefix.with_extension("v").exists() && prefix.with_extension("def").exists() {
+        Ok(dtp_netlist::iccad::read_iccad15(prefix)?)
+    } else {
+        Ok(bookshelf::read_design(prefix)?)
+    }
+}
+
+fn cmd_gen(args: &[String]) -> CliResult {
+    let [name, cells, out] = args else {
+        return Err("usage: dtp gen <name> <cells> <out_dir>".into());
+    };
+    let cells: usize = cells.parse()?;
+    let design = generate(&GeneratorConfig::named(name.clone(), cells))?;
+    let dir = Path::new(out);
+    bookshelf::write_design(&design, dir)?;
+    dtp_netlist::iccad::write_iccad15(&design, dir)?;
+    std::fs::write(dir.join(format!("{name}.lib")), dtp_liberty::write(&synthetic_pdk()))?;
+    std::fs::write(
+        dir.join(format!("{name}.sdc")),
+        format!(
+            "create_clock -period {} -name clk [get_ports clk]\n",
+            design.constraints.clock_period
+        ),
+    )?;
+    println!(
+        "wrote {}/{name}.{{nodes,nets,pl,scl,classes,v,def,lib,sdc}}  ({})",
+        dir.display(),
+        NetlistStats::of(&design.netlist)
+    );
+    Ok(())
+}
+
+fn cmd_sta(args: &[String]) -> CliResult {
+    let Some(spec) = args.first() else {
+        return Err("usage: dtp sta <design> [lib_file]".into());
+    };
+    let design = load_design(spec)?;
+    let lib = match args.get(1) {
+        Some(path) => dtp_liberty::parse(&std::fs::read_to_string(path)?)?,
+        None => synthetic_pdk(),
+    };
+    let timer = Timer::new(&design, &lib)?;
+    let forest = build_forest(&design.netlist);
+    let analysis = timer.analyze(&design.netlist, &forest);
+    println!("{}", TimingReport::new(&timer, &design.netlist, &analysis));
+    let lo = analysis.wns().min(0.0) * 1.05 - 1.0;
+    let hi = (-lo * 0.5).max(design.constraints.clock_period * 0.5);
+    println!("{}", SlackHistogram::new(&analysis, lo, hi, 12));
+    Ok(())
+}
+
+fn cmd_place(args: &[String]) -> CliResult {
+    let Some(spec) = args.first() else {
+        return Err("usage: dtp place <design> [--mode wl|nw|diff] [--out dir] [--svg file]".into());
+    };
+    let mut mode = FlowMode::differentiable();
+    let mut out_dir: Option<String> = None;
+    let mut svg_path: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--mode" => {
+                mode = match args.get(i + 1).map(String::as_str) {
+                    Some("wl") => FlowMode::Wirelength,
+                    Some("nw") => FlowMode::net_weighting(),
+                    Some("diff") => FlowMode::differentiable(),
+                    other => return Err(format!("unknown mode {other:?}").into()),
+                };
+                i += 2;
+            }
+            "--out" => {
+                out_dir = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--svg" => {
+                svg_path = args.get(i + 1).cloned();
+                i += 2;
+            }
+            other => return Err(format!("unknown option `{other}`").into()),
+        }
+    }
+    let mut design = load_design(spec)?;
+    if design.constraints.clock_port.is_none() && design.constraints.clock_period >= 1000.0 {
+        // Bookshelf input with no SDC: pick a period that creates pressure.
+        design.constraints = Sdc::with_period(500.0);
+    }
+    let lib = synthetic_pdk();
+    let r = run_flow(&design, &lib, mode, &FlowConfig::default())?;
+    println!("{r}");
+    if let Some(dir) = out_dir {
+        design.netlist.set_positions(&r.xs, &r.ys);
+        bookshelf::write_design(&design, Path::new(&dir))?;
+        println!("wrote placed design to {dir}/");
+    }
+    if let Some(path) = svg_path {
+        // Color by endpoint-cone slack: hotter = more violating pins.
+        design.netlist.set_positions(&r.xs, &r.ys);
+        let timer = Timer::new(&design, &lib)?;
+        let forest = build_forest(&design.netlist);
+        let analysis = timer.analyze(&design.netlist, &forest);
+        let wns = analysis.wns().min(-1.0);
+        let heat: Vec<f64> = design
+            .netlist
+            .cell_ids()
+            .map(|c| {
+                let worst = design
+                    .netlist
+                    .cell(c)
+                    .pins()
+                    .iter()
+                    .map(|&p| analysis.pin_slack(p))
+                    .fold(f64::INFINITY, f64::min);
+                if worst.is_finite() { (worst / wns).clamp(0.0, 1.0) } else { 0.0 }
+            })
+            .collect();
+        let opts = PlotOptions {
+            heat: Some(heat),
+            title: format!("{} {} WNS {:.0}ps", r.mode, r.design, r.wns),
+            ..PlotOptions::default()
+        };
+        std::fs::write(&path, render_svg(&design, Some(&r.xs), Some(&r.ys), &opts))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_proxy(args: &[String]) -> CliResult {
+    let Some(name) = args.first() else {
+        return Err("usage: dtp proxy <sbN> [scale_denom]".into());
+    };
+    let denom: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(150.0);
+    let design = superblue_proxy(name, 1.0 / denom)?;
+    println!("{}: {}", design.name, NetlistStats::of(&design.netlist));
+    println!(
+        "region {} x {} um, {} rows, clock period {} ps, utilization {:.2}",
+        design.region.width(),
+        design.region.height(),
+        design.rows.len(),
+        design.constraints.clock_period,
+        design.utilization()
+    );
+    Ok(())
+}

@@ -1,0 +1,382 @@
+//! The global placement flows (Fig. 7 of the paper).
+//!
+//! One engine drives all three Table-3 flows; they differ only in which
+//! timing mechanism injects itself into the gradient:
+//!
+//! - wirelength-only: none;
+//! - net weighting: exact STA → per-net weights in the WA wirelength;
+//! - differentiable (ours): smoothed STA → TNS/WNS gradients added to the
+//!   wirelength + density gradient, Steiner forest rebuilt every N
+//!   iterations and branch-updated in between.
+
+use crate::config::{FlowConfig, FlowMode, LegalizerChoice};
+use crate::weighting::NetWeighter;
+use dtp_liberty::Library;
+use dtp_netlist::{Design, NetlistError};
+use dtp_place::detail::DetailPlacer;
+use dtp_place::{AbacusLegalizer, DensityModel, Legalizer, NesterovOptimizer, WirelengthModel};
+use dtp_rsmt::{build_forest, SteinerForest};
+use dtp_sta::{StaError, Timer, TimerConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::time::Instant;
+
+/// Errors from the placement flow.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FlowError {
+    /// Timing-engine construction failed.
+    Sta(StaError),
+    /// Netlist-level failure.
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Sta(e) => write!(f, "timing engine error: {e}"),
+            FlowError::Netlist(e) => write!(f, "netlist error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FlowError::Sta(e) => Some(e),
+            FlowError::Netlist(e) => Some(e),
+        }
+    }
+}
+
+impl From<StaError> for FlowError {
+    fn from(e: StaError) -> Self {
+        FlowError::Sta(e)
+    }
+}
+
+impl From<NetlistError> for FlowError {
+    fn from(e: NetlistError) -> Self {
+        FlowError::Netlist(e)
+    }
+}
+
+/// One sample of the optimization trajectory (the series of Figure 8).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TracePoint {
+    /// Iteration index.
+    pub iter: usize,
+    /// Exact HPWL (µm).
+    pub hpwl: f64,
+    /// Density overflow.
+    pub overflow: f64,
+    /// Exact WNS (ps); `NAN` on iterations where timing was not traced.
+    pub wns: f64,
+    /// Exact TNS (ps); `NAN` when not traced.
+    pub tns: f64,
+}
+
+/// The outcome of one placement flow run.
+#[derive(Clone, Debug)]
+pub struct FlowResult {
+    /// Flow label ("DREAMPlace", "NetWeighting", "Ours").
+    pub mode: &'static str,
+    /// Design name.
+    pub design: String,
+    /// Final HPWL after legalization + detailed placement (µm).
+    pub hpwl: f64,
+    /// Final exact WNS (ps).
+    pub wns: f64,
+    /// Final exact TNS (ps).
+    pub tns: f64,
+    /// Final exact hold WNS (ps).
+    pub wns_hold: f64,
+    /// HPWL at the end of global placement, before legalization.
+    pub gp_hpwl: f64,
+    /// WNS at the end of global placement.
+    pub gp_wns: f64,
+    /// TNS at the end of global placement.
+    pub gp_tns: f64,
+    /// Global-placement iterations executed.
+    pub iterations: usize,
+    /// Wall-clock runtime of the whole flow, seconds.
+    pub runtime: f64,
+    /// Wall-clock spent inside timing analysis/gradients, seconds.
+    pub timing_runtime: f64,
+    /// Optimization trajectory samples.
+    pub trace: Vec<TracePoint>,
+    /// Final legalized positions (lower-left), indexed by cell.
+    pub xs: Vec<f64>,
+    /// Final legalized y positions.
+    pub ys: Vec<f64>,
+}
+
+impl fmt::Display for FlowResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<13} {:<6} WNS {:>10.1}  TNS {:>12.1}  HPWL {:>12.0}  {:>7.2}s ({} iters)",
+            self.mode, self.design, self.wns, self.tns, self.hpwl, self.runtime, self.iterations
+        )
+    }
+}
+
+/// Runs one placement flow on `design` and returns metrics, trace and the
+/// final legalized placement.
+///
+/// The input design's positions are not modified; the flow works on a copy
+/// and returns the result positions in [`FlowResult::xs`]/[`FlowResult::ys`].
+///
+/// # Errors
+///
+/// Returns [`FlowError::Sta`] if the netlist cannot be bound to the library
+/// or contains combinational cycles.
+pub fn run_flow(
+    design: &Design,
+    lib: &Library,
+    mode: FlowMode,
+    config: &FlowConfig,
+) -> Result<FlowResult, FlowError> {
+    let t_start = Instant::now();
+    let mut work = design.clone();
+    let nl_cells = work.netlist.num_cells();
+
+    // --- initial placement: cluster at the core center with small noise ----
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let center = work.region.center();
+    let (mut xs, mut ys) = work.netlist.positions();
+    for c in work.netlist.movable_cells() {
+        let i = c.index();
+        let class = work.netlist.class_of(c);
+        xs[i] = center.x - 0.5 * class.width()
+            + rng.gen_range(-0.02..0.02) * work.region.width();
+        ys[i] = center.y - 0.5 * class.height()
+            + rng.gen_range(-0.02..0.02) * work.region.height();
+    }
+    work.netlist.set_positions(&xs, &ys);
+
+    // --- models -------------------------------------------------------------
+    let wl_model = WirelengthModel::new(&work.netlist);
+    let density = DensityModel::new(&work, config.bins, config.bins, config.target_density);
+    let bin_w = work.region.width() / config.bins as f64;
+    let (timer_gamma, wire_model) = match mode {
+        FlowMode::Differentiable(d) => (d.gamma, d.wire_model.into()),
+        _ => (TimerConfig::default().gamma, dtp_sta::WireModel::Elmore),
+    };
+    let timer = Timer::with_config(
+        &work,
+        lib,
+        TimerConfig { gamma: timer_gamma, wire_model, ..TimerConfig::default() },
+    )?;
+    let mut weighter = match mode {
+        FlowMode::NetWeighting(cfg) => Some(NetWeighter::new(&wl_model, cfg)),
+        _ => None,
+    };
+    // Per-cell preconditioner ingredients.
+    let mut pin_count = vec![0.0f64; nl_cells];
+    for p in work.netlist.pin_ids() {
+        if work.netlist.pin(p).net().is_some() {
+            pin_count[work.netlist.pin(p).cell().index()] += 1.0;
+        }
+    }
+    let areas: Vec<f64> = work
+        .netlist
+        .cell_ids()
+        .map(|c| work.netlist.class_of(c).area())
+        .collect();
+
+    let mut opt = NesterovOptimizer::new(&work, bin_w);
+    let mut forest: Option<SteinerForest> = None;
+    let mut lambda = config.lambda_init;
+    let mut overflow = 1.0f64;
+    let mut trace = Vec::new();
+    let mut timing_runtime = 0.0f64;
+    let (mut t1, mut t2) = match mode {
+        FlowMode::Differentiable(d) => (d.t1, d.t2),
+        _ => (0.0, 0.0),
+    };
+
+    let mut iterations = 0usize;
+    for iter in 0..config.max_iters {
+        iterations = iter + 1;
+        let (vx, vy) = {
+            let (a, b) = opt.positions();
+            (a.to_vec(), b.to_vec())
+        };
+        work.netlist.set_positions(&vx, &vy);
+
+        // Steiner forest maintenance (only when some consumer needs it).
+        let timing_active = match mode {
+            FlowMode::Differentiable(d) => iter >= d.start_iter,
+            FlowMode::NetWeighting(w) => iter >= w.start_iter,
+            FlowMode::Wirelength => false,
+        };
+        let trace_timing =
+            config.trace_timing_every > 0 && iter % config.trace_timing_every == 0;
+        if timing_active || trace_timing {
+            let rebuild_period = match mode {
+                FlowMode::Differentiable(d) => d.steiner_rebuild_period,
+                _ => 10,
+            };
+            match &mut forest {
+                Some(f) if iter % rebuild_period != 0 => f.update_positions(&work.netlist),
+                _ => forest = Some(build_forest(&work.netlist)),
+            }
+        }
+
+        // Wirelength gradient (WA), γ annealed with overflow.
+        let wa_gamma = (bin_w * (0.1 + 8.0 * overflow)).max(1e-3);
+        let weights = weighter.as_ref().map(NetWeighter::weights);
+        let (_wl, mut gx, mut gy) = wl_model.wa_gradient(&vx, &vy, wa_gamma, weights);
+
+        // Density gradient.
+        let dres = density.compute(&vx, &vy);
+        overflow = dres.overflow;
+        if lambda == 0.0 {
+            // Auto-balance λ against the wirelength gradient on iteration 0.
+            let wl_norm: f64 = gx.iter().chain(gy.iter()).map(|g| g.abs()).sum();
+            let d_norm: f64 = dres
+                .grad_x
+                .iter()
+                .chain(dres.grad_y.iter())
+                .map(|g| g.abs())
+                .sum();
+            lambda = if d_norm > 0.0 { 0.1 * wl_norm / d_norm } else { 1.0 };
+        }
+        for i in 0..nl_cells {
+            gx[i] += lambda * dres.grad_x[i];
+            gy[i] += lambda * dres.grad_y[i];
+        }
+
+        // Timing mechanisms.
+        let mut traced_wns = f64::NAN;
+        let mut traced_tns = f64::NAN;
+        match mode {
+            FlowMode::Differentiable(dcfg) if timing_active => {
+                let f = forest.as_ref().expect("forest built when timing is active");
+                let t0 = Instant::now();
+                let analysis = timer.analyze_smoothed(&work.netlist, f);
+                let grads = timer.gradients(&work.netlist, &analysis, f, t1, t2);
+                timing_runtime += t0.elapsed().as_secs_f64();
+                // Optional preconditioning (§5 future work): normalize the
+                // timing gradient against the combined WL+density gradient.
+                let scale = if dcfg.grad_norm_target > 0.0 {
+                    let base_norm = gx
+                        .iter()
+                        .chain(gy.iter())
+                        .fold(0.0f64, |m, &g| m.max(g.abs()));
+                    let t_norm = grads
+                        .cell_grad_x
+                        .iter()
+                        .chain(grads.cell_grad_y.iter())
+                        .fold(0.0f64, |m, &g| m.max(g.abs()));
+                    if t_norm > 0.0 { dcfg.grad_norm_target * base_norm / t_norm } else { 0.0 }
+                } else {
+                    1.0
+                };
+                for i in 0..nl_cells {
+                    gx[i] += scale * grads.cell_grad_x[i];
+                    gy[i] += scale * grads.cell_grad_y[i];
+                }
+                t1 *= dcfg.growth;
+                t2 *= dcfg.growth;
+            }
+            FlowMode::NetWeighting(wcfg) if timing_active => {
+                if (iter - wcfg.start_iter) % wcfg.sta_period == 0 {
+                    let f = forest.as_ref().expect("forest built when timing is active");
+                    let t0 = Instant::now();
+                    let analysis = timer.analyze(&work.netlist, f);
+                    weighter
+                        .as_mut()
+                        .expect("weighter exists in net-weighting mode")
+                        .update(&work.netlist, &wl_model, &analysis);
+                    timing_runtime += t0.elapsed().as_secs_f64();
+                    traced_wns = analysis.wns();
+                    traced_tns = analysis.tns();
+                }
+            }
+            _ => {}
+        }
+
+        // Trace (exact timing only every `trace_timing_every` iterations).
+        if trace_timing && traced_wns.is_nan() {
+            if let Some(f) = forest.as_ref() {
+                let t0 = Instant::now();
+                let analysis = timer.analyze(&work.netlist, f);
+                timing_runtime += t0.elapsed().as_secs_f64();
+                traced_wns = analysis.wns();
+                traced_tns = analysis.tns();
+            }
+        }
+        if trace_timing {
+            trace.push(TracePoint {
+                iter,
+                hpwl: wl_model.hpwl(&vx, &vy),
+                overflow,
+                wns: traced_wns,
+                tns: traced_tns,
+            });
+        }
+
+        // Preconditioned Nesterov step.
+        let precond: Vec<f64> = (0..nl_cells)
+            .map(|i| (pin_count[i] + lambda * areas[i]).max(1.0))
+            .collect();
+        opt.step(&gx, &gy, &precond);
+        lambda *= config.lambda_growth;
+
+        if iter > 30 && overflow < config.stop_overflow {
+            break;
+        }
+    }
+
+    // --- post-GP metrics ------------------------------------------------------
+    let (sx, sy) = {
+        let (a, b) = opt.solution();
+        (a.to_vec(), b.to_vec())
+    };
+    work.netlist.set_positions(&sx, &sy);
+    let gp_forest = build_forest(&work.netlist);
+    let t0 = Instant::now();
+    let gp_analysis = timer.analyze(&work.netlist, &gp_forest);
+    timing_runtime += t0.elapsed().as_secs_f64();
+    let gp_hpwl = wl_model.hpwl(&sx, &sy);
+    let (gp_wns, gp_tns) = (gp_analysis.wns(), gp_analysis.tns());
+
+    // --- legalization + detailed placement -------------------------------------
+    let mut lx = sx;
+    let mut ly = sy;
+    match config.legalizer {
+        LegalizerChoice::Abacus => {
+            AbacusLegalizer::new(&work).legalize(&work, &mut lx, &mut ly);
+        }
+        LegalizerChoice::Tetris => {
+            Legalizer::new(&work).legalize(&work, &mut lx, &mut ly);
+        }
+    }
+    DetailPlacer::new(&work).refine(&work, &mut lx, &mut ly, config.detail_passes);
+    work.netlist.set_positions(&lx, &ly);
+    let final_forest = build_forest(&work.netlist);
+    let t0 = Instant::now();
+    let final_analysis = timer.analyze(&work.netlist, &final_forest);
+    timing_runtime += t0.elapsed().as_secs_f64();
+
+    Ok(FlowResult {
+        mode: mode.label(),
+        design: design.name.clone(),
+        hpwl: wl_model.hpwl(&lx, &ly),
+        wns: final_analysis.wns(),
+        tns: final_analysis.tns(),
+        wns_hold: final_analysis.wns_hold(),
+        gp_hpwl,
+        gp_wns,
+        gp_tns,
+        iterations,
+        runtime: t_start.elapsed().as_secs_f64(),
+        timing_runtime,
+        trace,
+        xs: lx,
+        ys: ly,
+    })
+}

@@ -1,0 +1,183 @@
+//! Integration tests of the three placement flows: the paper's qualitative
+//! claims must hold on the synthetic proxies.
+//!
+//! These run the full GP → LG → DP pipeline three times each, so they use a
+//! modest design size; run with `--release` for speed (they stay under a few
+//! seconds even in debug).
+
+use dtp_core::{run_flow, FlowConfig, FlowMode};
+use dtp_liberty::synth::synthetic_pdk;
+use dtp_netlist::generate::{generate, GeneratorConfig};
+use dtp_place::check_legal;
+
+fn design() -> dtp_netlist::Design {
+    generate(&GeneratorConfig::named("flow_test", 800)).expect("generator succeeds")
+}
+
+fn fast_config() -> FlowConfig {
+    FlowConfig { max_iters: 300, trace_timing_every: 20, ..FlowConfig::default() }
+}
+
+#[test]
+fn all_flows_spread_and_legalize() {
+    let d = design();
+    let lib = synthetic_pdk();
+    for mode in [
+        FlowMode::Wirelength,
+        FlowMode::net_weighting(),
+        FlowMode::differentiable(),
+    ] {
+        let r = run_flow(&d, &lib, mode, &fast_config()).expect("flow runs");
+        // Overflow reached the stop criterion (or close after max iters).
+        let last_overflow = r.trace.last().expect("trace non-empty").overflow;
+        assert!(
+            last_overflow < 0.3,
+            "{}: overflow did not come down: {last_overflow}",
+            r.mode
+        );
+        // Legal final placement.
+        let violations = check_legal(&d, &r.xs, &r.ys);
+        assert!(violations.is_empty(), "{}: {violations:?}", r.mode);
+        // Sane metrics.
+        assert!(r.hpwl > 0.0 && r.hpwl.is_finite());
+        assert!(r.wns.is_finite() && r.tns.is_finite());
+        assert!(r.tns <= 0.0 || r.wns >= 0.0);
+        assert!(r.runtime > 0.0);
+        assert!(r.iterations > 30);
+    }
+}
+
+#[test]
+fn differentiable_flow_beats_wirelength_on_timing() {
+    // The paper's headline claim, scaled down: explicit TNS/WNS optimization
+    // must improve both metrics substantially over the wirelength-only flow
+    // at (near-)equal HPWL.
+    let d = design();
+    let lib = synthetic_pdk();
+    let cfg = fast_config();
+    let base = run_flow(&d, &lib, FlowMode::Wirelength, &cfg).expect("flow runs");
+    let ours = run_flow(&d, &lib, FlowMode::differentiable(), &cfg).expect("flow runs");
+    assert!(base.wns < 0.0, "test design must start violating");
+    assert!(
+        ours.wns > base.wns * 0.9,
+        "WNS not improved: base {} vs ours {}",
+        base.wns,
+        ours.wns
+    );
+    assert!(
+        ours.tns > base.tns * 0.8,
+        "TNS not improved: base {} vs ours {}",
+        base.tns,
+        ours.tns
+    );
+    // "Almost identical HPWL ... for free" (§4): allow 10 % at this scale.
+    assert!(
+        ours.hpwl < 1.10 * base.hpwl,
+        "HPWL degraded: base {} vs ours {}",
+        base.hpwl,
+        ours.hpwl
+    );
+}
+
+#[test]
+fn net_weighting_improves_timing_but_costs_wirelength() {
+    let d = design();
+    let lib = synthetic_pdk();
+    let cfg = fast_config();
+    let base = run_flow(&d, &lib, FlowMode::Wirelength, &cfg).expect("flow runs");
+    let nw = run_flow(&d, &lib, FlowMode::net_weighting(), &cfg).expect("flow runs");
+    assert!(
+        nw.tns > base.tns,
+        "net weighting did not improve TNS: {} vs {}",
+        nw.tns,
+        base.tns
+    );
+    // Net weighting trades wirelength (Table 3: HPWL ratio 1.043).
+    assert!(nw.hpwl > base.hpwl * 0.99);
+}
+
+#[test]
+fn trace_is_monotone_in_iteration_and_overflow_decreases() {
+    let d = design();
+    let lib = synthetic_pdk();
+    let cfg = FlowConfig { trace_timing_every: 10, ..fast_config() };
+    let r = run_flow(&d, &lib, FlowMode::differentiable(), &cfg).expect("flow runs");
+    assert!(r.trace.len() >= 5);
+    for w in r.trace.windows(2) {
+        assert!(w[1].iter > w[0].iter);
+    }
+    let first = r.trace.first().expect("non-empty");
+    let last = r.trace.last().expect("non-empty");
+    assert!(
+        last.overflow < first.overflow,
+        "overflow did not decrease: {} -> {}",
+        first.overflow,
+        last.overflow
+    );
+    // HPWL grows from the clustered start as cells spread — Figure 8's HPWL
+    // curve rises then flattens.
+    assert!(last.hpwl > first.hpwl);
+}
+
+#[test]
+fn flows_are_deterministic() {
+    let d = design();
+    let lib = synthetic_pdk();
+    let cfg = fast_config();
+    let a = run_flow(&d, &lib, FlowMode::differentiable(), &cfg).expect("flow runs");
+    let b = run_flow(&d, &lib, FlowMode::differentiable(), &cfg).expect("flow runs");
+    assert_eq!(a.iterations, b.iterations);
+    assert_eq!(a.hpwl, b.hpwl);
+    assert_eq!(a.wns, b.wns);
+    assert_eq!(a.xs, b.xs);
+}
+
+#[test]
+fn seed_changes_result() {
+    let d = design();
+    let lib = synthetic_pdk();
+    let cfg = fast_config();
+    let a = run_flow(&d, &lib, FlowMode::Wirelength, &cfg).expect("flow runs");
+    let b = run_flow(
+        &d,
+        &lib,
+        FlowMode::Wirelength,
+        &FlowConfig { seed: 99, ..cfg },
+    )
+    .expect("flow runs");
+    assert_ne!(a.xs, b.xs);
+}
+
+#[test]
+fn gradient_preconditioning_variant_runs() {
+    // §5 future work: normalized timing gradients. Must run, legalize, and
+    // still beat the wirelength-only flow on TNS.
+    use dtp_core::DiffTimingConfig;
+    let d = design();
+    let lib = synthetic_pdk();
+    let cfg = fast_config();
+    let base = run_flow(&d, &lib, FlowMode::Wirelength, &cfg).expect("flow runs");
+    let mode = FlowMode::Differentiable(DiffTimingConfig {
+        grad_norm_target: 0.5,
+        ..DiffTimingConfig::default()
+    });
+    let r = run_flow(&d, &lib, mode, &cfg).expect("flow runs");
+    assert!(check_legal(&d, &r.xs, &r.ys).is_empty());
+    assert!(r.tns > base.tns, "preconditioned flow TNS {} vs base {}", r.tns, base.tns);
+}
+
+#[test]
+fn d2m_wire_model_variant_runs() {
+    // §3.4.2 generality: the full flow works with the two-moment wire model.
+    use dtp_core::{DiffTimingConfig, WireModelChoice};
+    let d = design();
+    let lib = synthetic_pdk();
+    let cfg = fast_config();
+    let mode = FlowMode::Differentiable(DiffTimingConfig {
+        wire_model: WireModelChoice::D2m,
+        ..DiffTimingConfig::default()
+    });
+    let r = run_flow(&d, &lib, mode, &cfg).expect("flow runs");
+    assert!(check_legal(&d, &r.xs, &r.ys).is_empty());
+    assert!(r.wns.is_finite() && r.tns.is_finite());
+}

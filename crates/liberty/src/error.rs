@@ -1,0 +1,69 @@
+//! Error type for library construction and parsing.
+
+use std::fmt;
+
+/// Errors produced while building or parsing NLDM libraries.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum LibertyError {
+    /// A look-up-table definition is inconsistent (axis not strictly
+    /// increasing, value count mismatch, empty axis).
+    BadTable(String),
+    /// A parse error with location.
+    Parse {
+        /// 1-based line of the offending token.
+        line: usize,
+        /// Problem description.
+        message: String,
+    },
+    /// A referenced cell or pin does not exist.
+    Unknown(String),
+    /// An underlying I/O error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for LibertyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LibertyError::BadTable(m) => write!(f, "bad look-up table: {m}"),
+            LibertyError::Parse { line, message } => {
+                write!(f, "liberty parse error at line {line}: {message}")
+            }
+            LibertyError::Unknown(n) => write!(f, "unknown library object `{n}`"),
+            LibertyError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LibertyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LibertyError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for LibertyError {
+    fn from(e: std::io::Error) -> Self {
+        LibertyError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(LibertyError::BadTable("x".into()).to_string().contains("bad look-up table"));
+        let p = LibertyError::Parse { line: 3, message: "unexpected `}`".into() };
+        assert!(p.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<LibertyError>();
+    }
+}

@@ -1,0 +1,134 @@
+//! Liberty-subset writer; round-trips with [`crate::parse`].
+
+use crate::arc::{ArcKind, TimingArc, Unate};
+use crate::library::Library;
+use crate::lut::{Lut1, Lut2};
+use dtp_netlist::PinDir;
+use std::fmt::Write as _;
+
+fn fmt_axis(axis: &[f64]) -> String {
+    axis.iter()
+        .map(|v| format!("{v}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn write_lut2(out: &mut String, name: &str, lut: &Lut2, indent: &str) {
+    let _ = writeln!(out, "{indent}{name} (tbl) {{");
+    let _ = writeln!(out, "{indent}  index_1 (\"{}\");", fmt_axis(lut.x_axis()));
+    let _ = writeln!(out, "{indent}  index_2 (\"{}\");", fmt_axis(lut.y_axis()));
+    let ny = lut.y_axis().len();
+    let rows: Vec<String> = lut
+        .values()
+        .chunks(ny)
+        .map(|row| format!("\"{}\"", fmt_axis(row)))
+        .collect();
+    let _ = writeln!(out, "{indent}  values ({});", rows.join(", "));
+    let _ = writeln!(out, "{indent}}}");
+}
+
+fn write_lut1(out: &mut String, name: &str, lut: &Lut1, indent: &str) {
+    let _ = writeln!(out, "{indent}{name} (tbl) {{");
+    let _ = writeln!(out, "{indent}  index_1 (\"{}\");", fmt_axis(lut.axis()));
+    let _ = writeln!(out, "{indent}  values (\"{}\");", fmt_axis(lut.values()));
+    let _ = writeln!(out, "{indent}}}");
+}
+
+fn write_timing(out: &mut String, arc: &TimingArc, indent: &str) {
+    let _ = writeln!(out, "{indent}timing () {{");
+    let _ = writeln!(out, "{indent}  related_pin : \"{}\";", arc.from);
+    match arc.kind {
+        ArcKind::Combinational => {
+            let sense = match arc.unate {
+                Unate::Positive => "positive_unate",
+                Unate::Negative => "negative_unate",
+                Unate::NonUnate => "non_unate",
+            };
+            let _ = writeln!(out, "{indent}  timing_sense : {sense};");
+        }
+        ArcKind::ClkToQ => {
+            let _ = writeln!(out, "{indent}  timing_type : rising_edge;");
+        }
+        ArcKind::Setup => {
+            let _ = writeln!(out, "{indent}  timing_type : setup_rising;");
+        }
+        ArcKind::Hold => {
+            let _ = writeln!(out, "{indent}  timing_type : hold_rising;");
+        }
+    }
+    let inner = format!("{indent}  ");
+    if arc.is_delay_arc() {
+        write_lut2(out, "cell_rise", &arc.cell_rise, &inner);
+        write_lut2(out, "cell_fall", &arc.cell_fall, &inner);
+        write_lut2(out, "rise_transition", &arc.rise_transition, &inner);
+        write_lut2(out, "fall_transition", &arc.fall_transition, &inner);
+    } else if let Some(t) = &arc.constraint {
+        write_lut1(out, "rise_constraint", t, &inner);
+        write_lut1(out, "fall_constraint", t, &inner);
+    }
+    let _ = writeln!(out, "{indent}}}");
+}
+
+/// Serializes a [`Library`] to Liberty-subset text.
+pub fn write(lib: &Library) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "library ({}) {{", lib.name);
+    let _ = writeln!(out, "  time_unit : \"1ps\";");
+    let _ = writeln!(out, "  capacitive_load_unit (1, ff);");
+    let _ = writeln!(out, "  /* interconnect technology extension */");
+    let _ = writeln!(out, "  wire_res_per_um : {};", lib.wire_res_per_um);
+    let _ = writeln!(out, "  wire_cap_per_um : {};", lib.wire_cap_per_um);
+    for cell in lib.cells() {
+        let _ = writeln!(out, "  cell ({}) {{", cell.name());
+        let _ = writeln!(out, "    area : {};", cell.area());
+        for pin in cell.pins() {
+            let _ = writeln!(out, "    pin ({}) {{", pin.name);
+            let dir = match pin.dir {
+                PinDir::Input => "input",
+                PinDir::Output => "output",
+            };
+            let _ = writeln!(out, "      direction : {dir};");
+            if pin.dir == PinDir::Input {
+                let _ = writeln!(out, "      capacitance : {};", pin.capacitance);
+            }
+            if let Some(mc) = pin.max_capacitance {
+                let _ = writeln!(out, "      max_capacitance : {mc};");
+            }
+            if pin.is_clock {
+                let _ = writeln!(out, "      clock : true;");
+            }
+            for arc in cell.arcs().iter().filter(|a| a.to == pin.name) {
+                write_timing(&mut out, arc, "      ");
+            }
+            let _ = writeln!(out, "    }}");
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::synthetic_pdk;
+
+    #[test]
+    fn output_contains_expected_sections() {
+        let text = write(&synthetic_pdk());
+        assert!(text.contains("library (dtp_synth_pdk)"));
+        assert!(text.contains("cell (INV_X1)"));
+        assert!(text.contains("cell (DFF_X1)"));
+        assert!(text.contains("timing_type : setup_rising;"));
+        assert!(text.contains("cell_rise (tbl)"));
+        assert!(text.contains("index_1 (\"0.5, 2, 8, 32, 128\");"));
+    }
+
+    #[test]
+    fn braces_balance() {
+        let text = write(&synthetic_pdk());
+        let open = text.matches('{').count();
+        let close = text.matches('}').count();
+        assert_eq!(open, close);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests of the NLDM library: physical sanity of every arc in
+//! the synthetic PDK across the full query range.
+
+use dtp_liberty::synth::synthetic_pdk;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn delay_and_slew_monotone_in_load(
+        slew in 0.5f64..128.0,
+        l1 in 0.5f64..64.0,
+        dl in 0.1f64..64.0,
+    ) {
+        let lib = synthetic_pdk();
+        for cell in lib.cells() {
+            for arc in cell.arcs().iter().filter(|a| a.is_delay_arc()) {
+                let a = arc.eval(slew, l1);
+                let b = arc.eval(slew, l1 + dl);
+                prop_assert!(b.delay >= a.delay - 1e-9, "{}: delay not monotone", cell.name());
+                prop_assert!(b.slew >= a.slew - 1e-9, "{}: slew not monotone", cell.name());
+            }
+        }
+    }
+
+    #[test]
+    fn delay_monotone_in_input_slew(
+        s1 in 0.5f64..100.0,
+        ds in 0.1f64..28.0,
+        load in 0.5f64..128.0,
+    ) {
+        let lib = synthetic_pdk();
+        for cell in lib.cells() {
+            for arc in cell.arcs().iter().filter(|a| a.is_delay_arc()) {
+                let a = arc.eval(s1, load);
+                let b = arc.eval(s1 + ds, load);
+                prop_assert!(b.delay >= a.delay - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_difference_everywhere(
+        slew in 1.0f64..120.0,
+        load in 1.0f64..120.0,
+    ) {
+        let lib = synthetic_pdk();
+        let h = 1e-6;
+        for cell in lib.cells().iter().take(4) {
+            for arc in cell.arcs().iter().filter(|a| a.is_delay_arc()) {
+                let e = arc.eval(slew, load);
+                let num_ds = (arc.eval(slew + h, load).delay - arc.eval(slew - h, load).delay) / (2.0 * h);
+                let num_dl = (arc.eval(slew, load + h).delay - arc.eval(slew, load - h).delay) / (2.0 * h);
+                prop_assert!((e.d_delay_d_slew - num_ds).abs() < 1e-4);
+                prop_assert!((e.d_delay_d_load - num_dl).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn constraints_positive_and_monotone(slew in 0.5f64..128.0, ds in 0.1f64..64.0) {
+        let lib = synthetic_pdk();
+        for cell in lib.cells().iter().filter(|c| c.is_sequential()) {
+            let setup = cell.setup_arc("D").expect("registers have setup arcs");
+            let hold = cell.hold_arc("D").expect("registers have hold arcs");
+            prop_assert!(setup.constraint_value(slew) > 0.0);
+            prop_assert!(hold.constraint_value(slew) > 0.0);
+            prop_assert!(setup.constraint_value(slew + ds) >= setup.constraint_value(slew));
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_arbitrary_queries(slew in 0.5f64..128.0, load in 0.5f64..128.0) {
+        let lib = synthetic_pdk();
+        let back = dtp_liberty::parse(&dtp_liberty::write(&lib)).expect("roundtrip parses");
+        for cell in lib.cells().iter().take(3) {
+            let b = back.cell(cell.name()).expect("cell survives");
+            for (arc, barc) in cell
+                .arcs()
+                .iter()
+                .filter(|a| a.is_delay_arc())
+                .zip(b.arcs().iter().filter(|a| a.is_delay_arc()))
+            {
+                let e1 = arc.eval(slew, load);
+                let e2 = barc.eval(slew, load);
+                prop_assert!((e1.delay - e2.delay).abs() < 1e-9);
+                prop_assert!((e1.slew - e2.slew).abs() < 1e-9);
+            }
+        }
+    }
+}

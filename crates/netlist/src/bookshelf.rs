@@ -1,0 +1,767 @@
+//! Bookshelf placement format subset (`.nodes`, `.nets`, `.pl`, `.scl`).
+//!
+//! The ICCAD-2015 contest releases its designs in Bookshelf-derived formats;
+//! this module provides a reader/writer for the standard subset so real
+//! benchmark data can be dropped into the flow, and so placements can be
+//! exported for external evaluation. The writer and reader round-trip
+//! ([`write_design`] then [`read_design`]).
+//!
+//! Conventions of the subset:
+//!
+//! - `.nodes` lists `name width height [terminal]`; terminals are fixed.
+//! - `.nets` lists `NetDegree : d name` headers followed by
+//!   `cell I|O : dx dy` pin lines, with pin offsets measured **from the cell
+//!   center** (Bookshelf convention; converted to lower-left internally).
+//! - `.pl` lists `name x y : N [/FIXED]` with lower-left coordinates.
+//! - `.scl` lists horizontal `CoreRow` records.
+//!
+//! Because Bookshelf has no cell-library concept, every node gets its own
+//! private [`CellClass`] named `__bs_<node>`; timing flows that need a library
+//! binding should use the synthetic generator or provide a name map.
+
+use crate::builder::NetlistBuilder;
+use crate::class::{CellClass, PinDir};
+use crate::model::{PI_CLASS, PO_CLASS};
+use crate::stdcells;
+use crate::design::{Design, Row};
+use crate::error::NetlistError;
+use crate::geom::{Point, Rect};
+use crate::ids::CellId;
+use crate::model::Netlist;
+use crate::sdc::Sdc;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+fn parse_err(kind: &'static str, line: usize, message: impl Into<String>) -> NetlistError {
+    NetlistError::Parse { kind, line, message: message.into() }
+}
+
+/// A `.nodes` record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeRecord {
+    /// Node name.
+    pub name: String,
+    /// Width in microns.
+    pub width: f64,
+    /// Height in microns.
+    pub height: f64,
+    /// Whether the node is a fixed terminal.
+    pub terminal: bool,
+}
+
+/// Parses a `.nodes` file body.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] on malformed records.
+pub fn parse_nodes(text: &str) -> Result<Vec<NodeRecord>, NetlistError> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if skip_line(line) || line.starts_with("NumNodes") || line.starts_with("NumTerminals") {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let name = it.next().ok_or_else(|| parse_err("nodes", i + 1, "missing name"))?;
+        let w: f64 = it
+            .next()
+            .ok_or_else(|| parse_err("nodes", i + 1, "missing width"))?
+            .parse()
+            .map_err(|_| parse_err("nodes", i + 1, "bad width"))?;
+        let h: f64 = it
+            .next()
+            .ok_or_else(|| parse_err("nodes", i + 1, "missing height"))?
+            .parse()
+            .map_err(|_| parse_err("nodes", i + 1, "bad height"))?;
+        let terminal = it.next().map(|t| t.starts_with("terminal")).unwrap_or(false);
+        out.push(NodeRecord { name: name.to_owned(), width: w, height: h, terminal });
+    }
+    Ok(out)
+}
+
+/// One pin of a `.nets` record: node name, direction, center-relative offset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NetPinRecord {
+    /// Node name.
+    pub node: String,
+    /// Direction (`I` or `O`; `B` is treated as input).
+    pub dir: PinDir,
+    /// Offset from the node center.
+    pub offset: Point,
+}
+
+/// A `.nets` record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NetRecord {
+    /// Net name.
+    pub name: String,
+    /// Pins on the net.
+    pub pins: Vec<NetPinRecord>,
+}
+
+/// Parses a `.nets` file body.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] on malformed records or degree mismatches.
+pub fn parse_nets(text: &str) -> Result<Vec<NetRecord>, NetlistError> {
+    let mut out: Vec<NetRecord> = Vec::new();
+    let mut expect: usize = 0;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if skip_line(line) || line.starts_with("NumNets") || line.starts_with("NumPins") {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("NetDegree") {
+            if expect != 0 {
+                return Err(parse_err("nets", i + 1, "previous net is missing pins"));
+            }
+            let rest = rest.trim_start_matches([':', ' ', '\t']);
+            let mut it = rest.split_whitespace();
+            let d: usize = it
+                .next()
+                .ok_or_else(|| parse_err("nets", i + 1, "missing degree"))?
+                .parse()
+                .map_err(|_| parse_err("nets", i + 1, "bad degree"))?;
+            let name = it
+                .next()
+                .map(str::to_owned)
+                .unwrap_or_else(|| format!("net{}", out.len()));
+            out.push(NetRecord { name, pins: Vec::with_capacity(d) });
+            expect = d;
+        } else {
+            let net = out
+                .last_mut()
+                .ok_or_else(|| parse_err("nets", i + 1, "pin before any NetDegree"))?;
+            // `cell I : dx dy` (offsets optional in some dialects).
+            let cleaned = line.replace(':', " ");
+            let mut it = cleaned.split_whitespace();
+            let node = it.next().ok_or_else(|| parse_err("nets", i + 1, "missing node"))?;
+            let dir = match it.next() {
+                Some("O") => PinDir::Output,
+                Some("I") | Some("B") => PinDir::Input,
+                other => {
+                    return Err(parse_err("nets", i + 1, format!("bad direction {other:?}")))
+                }
+            };
+            let dx: f64 = it.next().and_then(|t| t.parse().ok()).unwrap_or(0.0);
+            let dy: f64 = it.next().and_then(|t| t.parse().ok()).unwrap_or(0.0);
+            net.pins.push(NetPinRecord { node: node.to_owned(), dir, offset: Point::new(dx, dy) });
+            expect = expect.saturating_sub(1);
+        }
+    }
+    if expect != 0 {
+        return Err(parse_err("nets", text.lines().count(), "last net is missing pins"));
+    }
+    Ok(out)
+}
+
+/// A `.pl` record: lower-left position plus fixed flag.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlRecord {
+    /// Node name.
+    pub name: String,
+    /// Lower-left x.
+    pub x: f64,
+    /// Lower-left y.
+    pub y: f64,
+    /// Whether the record carries `/FIXED`.
+    pub fixed: bool,
+}
+
+/// Parses a `.pl` file body.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] on malformed records.
+pub fn parse_pl(text: &str) -> Result<Vec<PlRecord>, NetlistError> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if skip_line(line) {
+            continue;
+        }
+        let cleaned = line.replace(':', " ");
+        let mut it = cleaned.split_whitespace();
+        let name = it.next().ok_or_else(|| parse_err("pl", i + 1, "missing name"))?;
+        let x: f64 = it
+            .next()
+            .ok_or_else(|| parse_err("pl", i + 1, "missing x"))?
+            .parse()
+            .map_err(|_| parse_err("pl", i + 1, "bad x"))?;
+        let y: f64 = it
+            .next()
+            .ok_or_else(|| parse_err("pl", i + 1, "missing y"))?
+            .parse()
+            .map_err(|_| parse_err("pl", i + 1, "bad y"))?;
+        let fixed = line.contains("/FIXED");
+        out.push(PlRecord { name: name.to_owned(), x, y, fixed });
+    }
+    Ok(out)
+}
+
+/// Parses a `.scl` file body into rows.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] on malformed row records.
+pub fn parse_scl(text: &str) -> Result<Vec<Row>, NetlistError> {
+    let mut rows = Vec::new();
+    let mut cur: Option<(f64, f64, f64, f64, usize)> = None; // y, h, sw, x0, nsites
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if skip_line(line) || line.starts_with("NumRows") {
+            continue;
+        }
+        if line.starts_with("CoreRow") {
+            cur = Some((0.0, 0.0, 1.0, 0.0, 0));
+        } else if line == "End" {
+            let (y, h, sw, x0, n) =
+                cur.take().ok_or_else(|| parse_err("scl", i + 1, "End without CoreRow"))?;
+            rows.push(Row { y, x_min: x0, x_max: x0 + sw * n as f64, height: h, site_width: sw });
+        } else if let Some(c) = cur.as_mut() {
+            let cleaned = line.replace(':', " ");
+            let mut it = cleaned.split_whitespace();
+            match it.next() {
+                Some("Coordinate") => {
+                    c.0 = next_f64(&mut it, "scl", i)?;
+                }
+                Some("Height") => {
+                    c.1 = next_f64(&mut it, "scl", i)?;
+                }
+                Some("Sitewidth") => {
+                    c.2 = next_f64(&mut it, "scl", i)?;
+                }
+                Some("SubrowOrigin") => {
+                    c.3 = next_f64(&mut it, "scl", i)?;
+                    // Optional `NumSites : n` on the same line.
+                    if let Some(tok) = it.next() {
+                        if tok == "NumSites" {
+                            c.4 = it
+                                .next()
+                                .and_then(|t| t.parse().ok())
+                                .ok_or_else(|| parse_err("scl", i + 1, "bad NumSites"))?;
+                        }
+                    }
+                }
+                _ => {} // Siteorient / Sitespacing etc. ignored
+            }
+        }
+    }
+    Ok(rows)
+}
+
+fn next_f64<'a>(
+    it: &mut impl Iterator<Item = &'a str>,
+    kind: &'static str,
+    line0: usize,
+) -> Result<f64, NetlistError> {
+    it.next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| parse_err(kind, line0 + 1, "missing numeric value"))
+}
+
+fn skip_line(line: &str) -> bool {
+    line.is_empty() || line.starts_with('#') || line.starts_with("UCLA")
+}
+
+/// Assembles a [`Netlist`] from parsed Bookshelf records, creating one private
+/// class per node (named `__bs_<node>`) whose pins come from the `.nets`
+/// records.
+///
+/// # Errors
+///
+/// Returns builder errors (duplicate names, multi-driver nets, …).
+pub fn build_netlist(
+    nodes: &[NodeRecord],
+    nets: &[NetRecord],
+    pl: &[PlRecord],
+) -> Result<Netlist, NetlistError> {
+    // First collect all pins per node so each class is complete before
+    // instantiation.
+    let mut node_pins: HashMap<&str, Vec<(String, PinDir, Point)>> = HashMap::new();
+    for n in nets {
+        for p in &n.pins {
+            let pins = node_pins.entry(p.node.as_str()).or_default();
+            let name = format!("p{}", pins.len());
+            pins.push((name, p.dir, p.offset));
+        }
+    }
+    let mut b = NetlistBuilder::new();
+    let mut cell_of: HashMap<&str, CellId> = HashMap::new();
+    // Track, per node, how many of its pins have been consumed so repeated
+    // appearances map to successive pins.
+    let mut next_pin: HashMap<&str, usize> = HashMap::new();
+    for rec in nodes {
+        let mut class = CellClass::new(format!("__bs_{}", rec.name), rec.width, rec.height);
+        if let Some(pins) = node_pins.get(rec.name.as_str()) {
+            for (name, dir, center_off) in pins {
+                // Bookshelf offsets are center-relative; the model is
+                // lower-left-relative.
+                let off = Point::new(center_off.x + rec.width * 0.5, center_off.y + rec.height * 0.5);
+                class = class.with_pin(name.clone(), *dir, off.x, off.y);
+            }
+        }
+        let cid = b.add_class(class);
+        let cell = if rec.terminal {
+            b.add_fixed_cell(&*rec.name, cid)?
+        } else {
+            b.add_cell(&*rec.name, cid)?
+        };
+        cell_of.insert(rec.name.as_str(), cell);
+    }
+    for n in nets {
+        let net = b.add_net(&*n.name)?;
+        for p in &n.pins {
+            let cell = *cell_of
+                .get(p.node.as_str())
+                .ok_or_else(|| NetlistError::UnknownName(p.node.clone()))?;
+            let k = next_pin.entry(p.node.as_str()).or_insert(0);
+            let pin_name = format!("p{k}");
+            *k += 1;
+            b.connect_by_name(net, cell, &pin_name)?;
+        }
+    }
+    for rec in pl {
+        if let Some(&cell) = cell_of.get(rec.name.as_str()) {
+            b.place(cell, rec.x, rec.y);
+        }
+    }
+    b.finish()
+}
+
+/// Reads a design from `<prefix>.nodes/.nets/.pl/.scl` (and `<prefix>.sdc`
+/// when present).
+///
+/// # Errors
+///
+/// Returns I/O errors for missing files and parse/builder errors for
+/// malformed content.
+pub fn read_design(prefix: &Path) -> Result<Design, NetlistError> {
+    let read = |ext: &str| -> Result<String, NetlistError> {
+        Ok(fs::read_to_string(prefix.with_extension(ext))?)
+    };
+    let nodes = parse_nodes(&read("nodes")?)?;
+    let nets = parse_nets(&read("nets")?)?;
+    let pl = parse_pl(&read("pl")?)?;
+    let rows = parse_scl(&read("scl")?)?;
+    // An optional `.classes` sidecar (written by [`write_design`]) maps node
+    // names back to standard-cell classes, restoring the library binding
+    // that plain Bookshelf cannot express.
+    let classes = fs::read_to_string(prefix.with_extension("classes"))
+        .ok()
+        .map(|text| parse_classes(&text))
+        .transpose()?;
+    let netlist = match &classes {
+        Some(map) => build_netlist_with_classes(&nodes, &nets, &pl, map)?,
+        None => build_netlist(&nodes, &nets, &pl)?,
+    };
+    let sdc = match fs::read_to_string(prefix.with_extension("sdc")) {
+        Ok(text) => Sdc::parse(&text)?,
+        Err(_) => Sdc::default(),
+    };
+    let region = region_of_rows(&rows);
+    let name = prefix
+        .file_name()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "design".to_owned());
+    Ok(Design { name, netlist, region, rows, constraints: sdc })
+}
+
+/// Parses a `.classes` sidecar into `(node, class)` pairs.
+fn parse_classes(text: &str) -> Result<HashMap<String, String>, NetlistError> {
+    let mut map = HashMap::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if skip_line(line) {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let node = it
+            .next()
+            .ok_or_else(|| parse_err("classes", i + 1, "missing node"))?;
+        let class = it
+            .next()
+            .ok_or_else(|| parse_err("classes", i + 1, "missing class"))?;
+        map.insert(node.to_owned(), class.to_owned());
+    }
+    Ok(map)
+}
+
+/// Like [`build_netlist`], but binds nodes to real classes via a
+/// `node → class name` map: standard-cell names resolve through
+/// [`stdcells`], the port pseudo-class names recreate I/O ports, and
+/// unmapped nodes fall back to private Bookshelf classes. Net pins are
+/// matched to class pin templates by direction + center offset.
+///
+/// # Errors
+///
+/// Returns [`NetlistError`] when a mapped pin cannot be matched to any class
+/// pin template, or on builder-level inconsistencies.
+pub fn build_netlist_with_classes(
+    nodes: &[NodeRecord],
+    nets: &[NetRecord],
+    pl: &[PlRecord],
+    class_of: &HashMap<String, String>,
+) -> Result<Netlist, NetlistError> {
+    let mut b = NetlistBuilder::new();
+    let mut cell_of: HashMap<&str, CellId> = HashMap::new();
+    // Collect fallback pins for unmapped nodes (same as build_netlist).
+    let mut node_pins: HashMap<&str, Vec<(String, PinDir, Point)>> = HashMap::new();
+    for n in nets {
+        for p in &n.pins {
+            let pins = node_pins.entry(p.node.as_str()).or_default();
+            pins.push((format!("p{}", pins.len()), p.dir, p.offset));
+        }
+    }
+    for rec in nodes {
+        let class_name = class_of.get(&rec.name).map(String::as_str);
+        let cell = match class_name {
+            Some(PI_CLASS) => b.add_input_port(&*rec.name)?,
+            Some(PO_CLASS) => b.add_output_port(&*rec.name)?,
+            Some(name) if stdcells::find(name).is_some() => {
+                let spec = stdcells::find(name).expect("checked above");
+                let cid = b.add_class(spec.to_class());
+                if rec.terminal {
+                    b.add_fixed_cell(&*rec.name, cid)?
+                } else {
+                    b.add_cell(&*rec.name, cid)?
+                }
+            }
+            _ => {
+                // Unknown class: private per-node class, as in build_netlist.
+                let mut class = CellClass::new(format!("__bs_{}", rec.name), rec.width, rec.height);
+                if let Some(pins) = node_pins.get(rec.name.as_str()) {
+                    for (name, dir, off) in pins {
+                        class = class.with_pin(
+                            name.clone(),
+                            *dir,
+                            off.x + rec.width * 0.5,
+                            off.y + rec.height * 0.5,
+                        );
+                    }
+                }
+                let cid = b.add_class(class);
+                if rec.terminal {
+                    b.add_fixed_cell(&*rec.name, cid)?
+                } else {
+                    b.add_cell(&*rec.name, cid)?
+                }
+            }
+        };
+        cell_of.insert(rec.name.as_str(), cell);
+    }
+    // Connect: match each net-pin record to an unused class pin by direction
+    // and lower-left offset.
+    let mut used: HashMap<CellId, Vec<bool>> = HashMap::new();
+    for n in nets {
+        let net = b.add_net(&*n.name)?;
+        for p in &n.pins {
+            let cell = *cell_of
+                .get(p.node.as_str())
+                .ok_or_else(|| NetlistError::UnknownName(p.node.clone()))?;
+            let (pin_name, idx) = {
+                let nl = b.as_netlist();
+                let class = nl.class_of(cell);
+                let off_ll = Point::new(
+                    p.offset.x + class.width() * 0.5,
+                    p.offset.y + class.height() * 0.5,
+                );
+                let used_flags = used
+                    .entry(cell)
+                    .or_insert_with(|| vec![false; class.pins().len()]);
+                let found = class
+                    .pins()
+                    .iter()
+                    .enumerate()
+                    .find(|(k, spec)| {
+                        !used_flags[*k]
+                            && spec.dir == p.dir
+                            && (spec.offset.x - off_ll.x).abs() < 1e-4
+                            && (spec.offset.y - off_ll.y).abs() < 1e-4
+                    })
+                    .map(|(k, spec)| (spec.name.clone(), k));
+                found.ok_or_else(|| NetlistError::UnknownPin {
+                    class: class.name().to_owned(),
+                    pin: format!("{} @ ({}, {})", p.dir, off_ll.x, off_ll.y),
+                })?
+            };
+            used.get_mut(&cell).expect("inserted above")[idx] = true;
+            b.connect_by_name(net, cell, &pin_name)?;
+        }
+    }
+    for rec in pl {
+        if let Some(&cell) = cell_of.get(rec.name.as_str()) {
+            b.place(cell, rec.x, rec.y);
+        }
+    }
+    b.finish()
+}
+
+fn region_of_rows(rows: &[Row]) -> Rect {
+    let mut r: Option<Rect> = None;
+    for row in rows {
+        let rr = Rect::new(row.x_min, row.y, row.x_max, row.y + row.height);
+        match &mut r {
+            None => r = Some(rr),
+            Some(acc) => {
+                acc.xl = acc.xl.min(rr.xl);
+                acc.yl = acc.yl.min(rr.yl);
+                acc.xh = acc.xh.max(rr.xh);
+                acc.yh = acc.yh.max(rr.yh);
+            }
+        }
+    }
+    r.unwrap_or(Rect::EMPTY)
+}
+
+/// Writes `<dir>/<design.name>.{nodes,nets,pl,scl}`.
+///
+/// # Errors
+///
+/// Returns I/O errors from file creation.
+pub fn write_design(design: &Design, dir: &Path) -> Result<(), NetlistError> {
+    fs::create_dir_all(dir)?;
+    let nl = &design.netlist;
+    let base = dir.join(&design.name);
+
+    // .nodes
+    let mut nodes = String::from("UCLA nodes 1.0\n");
+    let _ = writeln!(nodes, "NumNodes : {}", nl.num_cells());
+    let n_term = nl.cell_ids().filter(|&c| nl.cell(c).is_fixed()).count();
+    let _ = writeln!(nodes, "NumTerminals : {n_term}");
+    for c in nl.cell_ids() {
+        let cell = nl.cell(c);
+        let class = nl.class_of(c);
+        let term = if cell.is_fixed() { " terminal" } else { "" };
+        let _ = writeln!(nodes, "  {} {} {}{}", cell.name(), class.width(), class.height(), term);
+    }
+    fs::write(base.with_extension("nodes"), nodes)?;
+
+    // .nets
+    let mut nets = String::from("UCLA nets 1.0\n");
+    let _ = writeln!(nets, "NumNets : {}", nl.num_nets());
+    let npins: usize = nl.net_ids().map(|n| nl.net(n).degree()).sum();
+    let _ = writeln!(nets, "NumPins : {npins}");
+    for n in nl.net_ids() {
+        let net = nl.net(n);
+        let _ = writeln!(nets, "NetDegree : {} {}", net.degree(), net.name());
+        for &p in net.pins() {
+            let pin = nl.pin(p);
+            let cell = nl.cell(pin.cell());
+            let class = nl.class_of(pin.cell());
+            let spec = nl.pin_spec(p);
+            let dir = if spec.dir.is_output() { "O" } else { "I" };
+            // Convert lower-left offsets back to center-relative.
+            let dx = spec.offset.x - class.width() * 0.5;
+            let dy = spec.offset.y - class.height() * 0.5;
+            let _ = writeln!(nets, "  {} {dir} : {dx:.6} {dy:.6}", cell.name());
+        }
+    }
+    fs::write(base.with_extension("nets"), nets)?;
+
+    // .pl
+    let mut pl = String::from("UCLA pl 1.0\n");
+    for c in nl.cell_ids() {
+        let cell = nl.cell(c);
+        let fixed = if cell.is_fixed() { " /FIXED" } else { "" };
+        let _ = writeln!(pl, "{} {:.6} {:.6} : N{}", cell.name(), cell.pos().x, cell.pos().y, fixed);
+    }
+    fs::write(base.with_extension("pl"), pl)?;
+
+    // .classes sidecar: node -> class name, so a re-import can rebind the
+    // library (standard Bookshelf has no cell-class concept).
+    let mut classes = String::from("# node class\n");
+    for c in nl.cell_ids() {
+        let _ = writeln!(classes, "{} {}", nl.cell(c).name(), nl.class_of(c).name());
+    }
+    fs::write(base.with_extension("classes"), classes)?;
+
+    // .scl
+    let mut scl = String::from("UCLA scl 1.0\n");
+    let _ = writeln!(scl, "NumRows : {}", design.rows.len());
+    for row in &design.rows {
+        let _ = writeln!(scl, "CoreRow Horizontal");
+        let _ = writeln!(scl, "  Coordinate : {}", row.y);
+        let _ = writeln!(scl, "  Height : {}", row.height);
+        let _ = writeln!(scl, "  Sitewidth : {}", row.site_width);
+        let _ = writeln!(scl, "  SubrowOrigin : {} NumSites : {}", row.x_min, row.num_sites());
+        let _ = writeln!(scl, "End");
+    }
+    fs::write(base.with_extension("scl"), scl)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NODES: &str = "\
+UCLA nodes 1.0
+NumNodes : 3
+NumTerminals : 1
+  a 1.0 2.0
+  b 1.5 2.0
+  p 0.0 0.0 terminal
+";
+
+    const NETS: &str = "\
+UCLA nets 1.0
+NumNets : 2
+NumPins : 4
+NetDegree : 2 n0
+  p O : 0.0 0.0
+  a I : -0.25 0.0
+NetDegree : 2 n1
+  a O : 0.25 0.0
+  b I : -0.5 0.0
+";
+
+    const PL: &str = "\
+UCLA pl 1.0
+a 10.0 4.0 : N
+b 20.0 6.0 : N
+p 0.0 0.0 : N /FIXED
+";
+
+    const SCL: &str = "\
+UCLA scl 1.0
+NumRows : 2
+CoreRow Horizontal
+  Coordinate : 0.0
+  Height : 2.0
+  Sitewidth : 0.5
+  SubrowOrigin : 0.0 NumSites : 100
+End
+CoreRow Horizontal
+  Coordinate : 2.0
+  Height : 2.0
+  Sitewidth : 0.5
+  SubrowOrigin : 0.0 NumSites : 100
+End
+";
+
+    #[test]
+    fn parse_all_sections() {
+        let nodes = parse_nodes(NODES).unwrap();
+        assert_eq!(nodes.len(), 3);
+        assert!(nodes[2].terminal);
+        let nets = parse_nets(NETS).unwrap();
+        assert_eq!(nets.len(), 2);
+        assert_eq!(nets[0].pins.len(), 2);
+        assert_eq!(nets[0].pins[0].dir, PinDir::Output);
+        let pl = parse_pl(PL).unwrap();
+        assert_eq!(pl.len(), 3);
+        assert!(pl[2].fixed);
+        let rows = parse_scl(SCL).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].y, 2.0);
+        assert_eq!(rows[0].x_max, 50.0);
+    }
+
+    #[test]
+    fn build_and_positions() {
+        let nodes = parse_nodes(NODES).unwrap();
+        let nets = parse_nets(NETS).unwrap();
+        let pl = parse_pl(PL).unwrap();
+        let nl = build_netlist(&nodes, &nets, &pl).unwrap();
+        nl.validate().unwrap();
+        assert_eq!(nl.num_cells(), 3);
+        assert_eq!(nl.num_nets(), 2);
+        let a = nl.find_cell("a").unwrap();
+        assert_eq!(nl.cell(a).pos(), Point::new(10.0, 4.0));
+        // Pin offset: center-relative (-0.25, 0) on a 1x2 cell => LL (0.25, 1.0).
+        let n0 = nl.find_net("n0").unwrap();
+        let sink = nl.net_sinks(n0)[0];
+        assert_eq!(nl.pin_position(sink), Point::new(10.25, 5.0));
+    }
+
+    #[test]
+    fn degree_mismatch_is_error() {
+        let bad = "NetDegree : 3 n0\n  a I : 0 0\n";
+        assert!(parse_nets(bad).is_err());
+    }
+
+    #[test]
+    fn pin_before_header_is_error() {
+        assert!(parse_nets("  a I : 0 0\n").is_err());
+    }
+
+    #[test]
+    fn roundtrip_through_files() {
+        use crate::generate::{generate, GeneratorConfig};
+        let design = generate(&GeneratorConfig::named("rt", 80)).unwrap();
+        let dir = std::env::temp_dir().join("dtp_bookshelf_rt");
+        write_design(&design, &dir).unwrap();
+        let back = read_design(&dir.join("rt")).unwrap();
+        assert_eq!(back.netlist.num_cells(), design.netlist.num_cells());
+        assert_eq!(back.netlist.num_nets(), design.netlist.num_nets());
+        assert_eq!(back.rows.len(), design.rows.len());
+        // Positions survive the round trip.
+        for c in design.netlist.cell_ids() {
+            let name = design.netlist.cell(c).name();
+            let c2 = back.netlist.find_cell(name).unwrap();
+            let p1 = design.netlist.cell(c).pos();
+            let p2 = back.netlist.cell(c2).pos();
+            assert!((p1.x - p2.x).abs() < 1e-5 && (p1.y - p2.y).abs() < 1e-5);
+        }
+    }
+}
+
+#[cfg(test)]
+mod class_sidecar_tests {
+    use super::*;
+    use crate::generate::{generate, GeneratorConfig};
+    use crate::stats::NetlistStats;
+
+    #[test]
+    fn classes_sidecar_restores_binding() {
+        let design = generate(&GeneratorConfig::named("sidecar", 120)).unwrap();
+        let dir = std::env::temp_dir().join("dtp_bookshelf_sidecar");
+        write_design(&design, &dir).unwrap();
+        assert!(dir.join("sidecar.classes").exists());
+        let back = read_design(&dir.join("sidecar")).unwrap();
+        // Classes are real standard cells again, not __bs_* privates.
+        let s1 = NetlistStats::of(&design.netlist);
+        let s2 = NetlistStats::of(&back.netlist);
+        assert_eq!(s1.num_cells, s2.num_cells);
+        assert_eq!(s1.num_registers, s2.num_registers, "registers lost");
+        assert_eq!(s1.num_ports, s2.num_ports, "ports lost");
+        // Clock net marking survives (CK pins are clock pins again).
+        let c1 = design.netlist.net_ids().filter(|&n| design.netlist.net(n).is_clock()).count();
+        let c2 = back.netlist.net_ids().filter(|&n| back.netlist.net(n).is_clock()).count();
+        assert_eq!(c1, c2);
+        // Every cell's class name matches the original.
+        for c in design.netlist.cell_ids() {
+            let name = design.netlist.cell(c).name();
+            let c2 = back.netlist.find_cell(name).unwrap();
+            assert_eq!(
+                design.netlist.class_of(c).name(),
+                back.netlist.class_of(c2).name(),
+                "class mismatch for {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_sidecar_falls_back_to_private_classes() {
+        let design = generate(&GeneratorConfig::named("nosidecar", 60)).unwrap();
+        let dir = std::env::temp_dir().join("dtp_bookshelf_nosidecar");
+        write_design(&design, &dir).unwrap();
+        std::fs::remove_file(dir.join("nosidecar.classes")).unwrap();
+        let back = read_design(&dir.join("nosidecar")).unwrap();
+        assert_eq!(back.netlist.num_cells(), design.netlist.num_cells());
+        // Private classes: no registers recognizable.
+        assert_eq!(NetlistStats::of(&back.netlist).num_registers, 0);
+    }
+
+    #[test]
+    fn parse_classes_rejects_malformed() {
+        assert!(parse_classes("node_without_class\n").is_err());
+        let ok = parse_classes("# comment\na INV_X1\nb DFF_X1\n").unwrap();
+        assert_eq!(ok.len(), 2);
+        assert_eq!(ok["b"], "DFF_X1");
+    }
+}

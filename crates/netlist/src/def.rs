@@ -1,0 +1,402 @@
+//! DEF (Design Exchange Format) subset — the placement side of the
+//! ICCAD-2015 release format. Connectivity comes from the Verilog file
+//! ([`crate::verilog`]); DEF carries the die area, rows, component
+//! placements and pin (port) placements.
+//!
+//! Supported subset:
+//!
+//! ```text
+//! VERSION 5.8 ;
+//! DESIGN top ;
+//! UNITS DISTANCE MICRONS 1000 ;
+//! DIEAREA ( 0 0 ) ( 100000 130000 ) ;
+//! ROW row0 core 0 0 N DO 400 BY 1 STEP 250 2000 ;
+//! COMPONENTS 2 ;
+//!  - g1 NAND2_X1 + PLACED ( 2000 4000 ) N ;
+//!  - g2 INV_X1 + FIXED ( 9000 4000 ) N ;
+//! END COMPONENTS
+//! PINS 1 ;
+//!  - a + NET a + DIRECTION INPUT + PLACED ( 0 2000 ) N ;
+//! END PINS
+//! END DESIGN
+//! ```
+
+use crate::design::Row;
+use crate::error::NetlistError;
+use crate::geom::Rect;
+use crate::model::Netlist;
+use std::fmt::Write as _;
+
+/// One placed object from a DEF file (component or pin).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DefPlacement {
+    /// Component / pin name.
+    pub name: String,
+    /// Lower-left x in microns.
+    pub x: f64,
+    /// Lower-left y in microns.
+    pub y: f64,
+    /// Whether the DEF declares it `FIXED`.
+    pub fixed: bool,
+}
+
+/// Parsed DEF content.
+#[derive(Clone, Debug, Default)]
+pub struct DefData {
+    /// DESIGN name.
+    pub design: String,
+    /// Database units per micron (UNITS DISTANCE MICRONS).
+    pub dbu_per_micron: f64,
+    /// Die area in microns.
+    pub diearea: Rect,
+    /// Placement rows.
+    pub rows: Vec<Row>,
+    /// Component placements.
+    pub components: Vec<DefPlacement>,
+    /// Pin (port) placements.
+    pub pins: Vec<DefPlacement>,
+}
+
+fn perr(line: usize, message: impl Into<String>) -> NetlistError {
+    NetlistError::Parse { kind: "def", line, message: message.into() }
+}
+
+/// Parses the DEF subset.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] on malformed statements. Unsupported DEF
+/// sections (NETS, SPECIALNETS, …) are skipped statement-wise.
+pub fn parse_def(text: &str) -> Result<DefData, NetlistError> {
+    let mut data = DefData { dbu_per_micron: 1000.0, ..DefData::default() };
+    // DEF statements end with `;` and may span lines; rebuild statements.
+    let mut statements: Vec<(usize, String)> = Vec::new();
+    {
+        let mut cur = String::new();
+        let mut start_line = 1usize;
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("");
+            if cur.is_empty() {
+                start_line = i + 1;
+            }
+            cur.push_str(line);
+            cur.push(' ');
+            if line.trim_end().ends_with(';')
+                || line.trim() == "END COMPONENTS"
+                || line.trim() == "END PINS"
+                || line.trim() == "END DESIGN"
+            {
+                statements.push((start_line, std::mem::take(&mut cur)));
+            }
+        }
+        if !cur.trim().is_empty() {
+            statements.push((start_line, cur));
+        }
+    }
+
+    #[derive(PartialEq)]
+    enum Section {
+        Top,
+        Components,
+        Pins,
+        Skip(&'static str),
+    }
+    let mut section = Section::Top;
+    let dbu = |data: &DefData| data.dbu_per_micron;
+
+    for (lineno, stmt) in statements {
+        let owned: Vec<String> = stmt
+            .replace(['(', ')'], " ")
+            .split_whitespace()
+            .map(|s| s.trim_end_matches(';').to_owned())
+            .filter(|s| !s.is_empty())
+            .collect();
+        let t: Vec<&str> = owned.iter().map(String::as_str).collect();
+        if t.is_empty() {
+            continue;
+        }
+        match section {
+            Section::Skip(end) => {
+                if t[0] == "END" && t.get(1).copied() == Some(end) {
+                    section = Section::Top;
+                }
+            }
+            Section::Top => match t[0] {
+                "VERSION" | "DIVIDERCHAR" | "BUSBITCHARS" | "TECHNOLOGY" => {}
+                "DESIGN" => {
+                    data.design = t.get(1).unwrap_or(&"design").to_string();
+                }
+                "UNITS" => {
+                    // UNITS DISTANCE MICRONS n
+                    if let Some(v) = t.last().and_then(|s| s.parse::<f64>().ok()) {
+                        data.dbu_per_micron = v;
+                    }
+                }
+                "DIEAREA" => {
+                    let nums: Vec<f64> = t[1..]
+                        .iter()
+                        .filter_map(|s| s.parse().ok())
+                        .collect();
+                    if nums.len() < 4 {
+                        return Err(perr(lineno, "DIEAREA needs two points"));
+                    }
+                    let s = dbu(&data);
+                    data.diearea =
+                        Rect::new(nums[0] / s, nums[1] / s, nums[2] / s, nums[3] / s);
+                }
+                "ROW" => {
+                    // ROW name site x y orient DO nx BY ny STEP sx sy
+                    let num = |i: usize| -> Result<f64, NetlistError> {
+                        t.get(i)
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| perr(lineno, "bad ROW statement"))
+                    };
+                    let x = num(3)? / dbu(&data);
+                    let y = num(4)? / dbu(&data);
+                    let do_idx = t.iter().position(|&s| s == "DO");
+                    let step_idx = t.iter().position(|&s| s == "STEP");
+                    let (nx, sx) = match (do_idx, step_idx) {
+                        (Some(d), Some(st)) => {
+                            let nx: f64 = t
+                                .get(d + 1)
+                                .and_then(|s| s.parse().ok())
+                                .ok_or_else(|| perr(lineno, "bad DO count"))?;
+                            let sx: f64 = t
+                                .get(st + 1)
+                                .and_then(|s| s.parse().ok())
+                                .ok_or_else(|| perr(lineno, "bad STEP"))?;
+                            (nx, sx / dbu(&data))
+                        }
+                        _ => (0.0, 0.0),
+                    };
+                    data.rows.push(Row {
+                        y,
+                        x_min: x,
+                        x_max: x + nx * sx,
+                        height: crate::stdcells::ROW_HEIGHT,
+                        site_width: if sx > 0.0 { sx } else { crate::stdcells::SITE_WIDTH },
+                    });
+                }
+                "COMPONENTS" => section = Section::Components,
+                "PINS" => section = Section::Pins,
+                "NETS" => section = Section::Skip("NETS"),
+                "SPECIALNETS" => section = Section::Skip("SPECIALNETS"),
+                "END" => {}
+                _ => {} // unsupported top-level statements are skipped
+            },
+            Section::Components | Section::Pins => {
+                if t[0] == "END" {
+                    section = Section::Top;
+                    continue;
+                }
+                if t[0] != "-" {
+                    continue;
+                }
+                let name = t
+                    .get(1)
+                    .ok_or_else(|| perr(lineno, "missing name"))?
+                    .to_string();
+                let placed = t.iter().position(|&s| s == "PLACED" || s == "FIXED");
+                let Some(pi) = placed else { continue };
+                let fixed = t[pi] == "FIXED";
+                let s = dbu(&data);
+                let x: f64 = t
+                    .get(pi + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| perr(lineno, "bad placement x"))?;
+                let y: f64 = t
+                    .get(pi + 2)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| perr(lineno, "bad placement y"))?;
+                let rec = DefPlacement { name, x: x / s, y: y / s, fixed };
+                if section == Section::Components {
+                    data.components.push(rec);
+                } else {
+                    data.pins.push(rec);
+                }
+            }
+        }
+    }
+    Ok(data)
+}
+
+/// Applies DEF placements to a netlist parsed from the matching Verilog:
+/// component names map to cells, pin names to port pseudo-cells. Returns the
+/// number of objects placed.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::UnknownName`] for a DEF object with no netlist
+/// counterpart.
+pub fn apply_def(nl: &mut Netlist, def: &DefData) -> Result<usize, NetlistError> {
+    let mut placed = 0usize;
+    for rec in def.components.iter().chain(def.pins.iter()) {
+        let cell = nl
+            .find_cell(&rec.name)
+            .ok_or_else(|| NetlistError::UnknownName(rec.name.clone()))?;
+        nl.set_cell_pos(cell, crate::geom::Point::new(rec.x, rec.y));
+        placed += 1;
+    }
+    Ok(placed)
+}
+
+/// Serializes a placed netlist + floorplan to the DEF subset.
+pub fn write_def(design: &crate::design::Design) -> String {
+    let nl = &design.netlist;
+    let dbu = 1000.0;
+    let mut out = String::new();
+    let _ = writeln!(out, "VERSION 5.8 ;");
+    let _ = writeln!(out, "DESIGN {} ;", design.name);
+    let _ = writeln!(out, "UNITS DISTANCE MICRONS {dbu} ;");
+    let _ = writeln!(
+        out,
+        "DIEAREA ( {:.0} {:.0} ) ( {:.0} {:.0} ) ;",
+        design.region.xl * dbu,
+        design.region.yl * dbu,
+        design.region.xh * dbu,
+        design.region.yh * dbu
+    );
+    for (i, row) in design.rows.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "ROW row{i} core {:.0} {:.0} N DO {} BY 1 STEP {:.0} 0 ;",
+            row.x_min * dbu,
+            row.y * dbu,
+            row.num_sites(),
+            row.site_width * dbu
+        );
+    }
+    let comps: Vec<_> = nl.cell_ids().filter(|&c| !nl.cell_is_port(c)).collect();
+    let _ = writeln!(out, "COMPONENTS {} ;", comps.len());
+    for c in comps {
+        let cell = nl.cell(c);
+        let kind = if cell.is_fixed() { "FIXED" } else { "PLACED" };
+        let _ = writeln!(
+            out,
+            " - {} {} + {kind} ( {:.0} {:.0} ) N ;",
+            cell.name(),
+            nl.class_of(c).name(),
+            cell.pos().x * dbu,
+            cell.pos().y * dbu
+        );
+    }
+    let _ = writeln!(out, "END COMPONENTS");
+    let ports: Vec<_> = nl.cell_ids().filter(|&c| nl.cell_is_port(c)).collect();
+    let _ = writeln!(out, "PINS {} ;", ports.len());
+    for c in ports {
+        let cell = nl.cell(c);
+        let dir = if nl.cell_is_input_port(c) { "INPUT" } else { "OUTPUT" };
+        let _ = writeln!(
+            out,
+            " - {} + NET {} + DIRECTION {dir} + PLACED ( {:.0} {:.0} ) N ;",
+            cell.name(),
+            cell.name(),
+            cell.pos().x * dbu,
+            cell.pos().y * dbu
+        );
+    }
+    let _ = writeln!(out, "END PINS");
+    let _ = writeln!(out, "END DESIGN");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate, GeneratorConfig};
+    use crate::verilog::{parse_verilog, write_verilog};
+
+    const SMALL_DEF: &str = "\
+VERSION 5.8 ;
+DESIGN top ;
+UNITS DISTANCE MICRONS 1000 ;
+DIEAREA ( 0 0 ) ( 100000 130000 ) ;
+ROW row0 core 0 0 N DO 400 BY 1 STEP 250 0 ;
+COMPONENTS 2 ;
+ - g1 NAND2_X1 + PLACED ( 2000 4000 ) N ;
+ - g2 INV_X1 + FIXED ( 9000 4000 ) N ;
+END COMPONENTS
+PINS 1 ;
+ - a + NET a + DIRECTION INPUT + PLACED ( 0 2000 ) N ;
+END PINS
+END DESIGN
+";
+
+    #[test]
+    fn parse_small_def() {
+        let d = parse_def(SMALL_DEF).unwrap();
+        assert_eq!(d.design, "top");
+        assert_eq!(d.dbu_per_micron, 1000.0);
+        assert_eq!(d.diearea, Rect::new(0.0, 0.0, 100.0, 130.0));
+        assert_eq!(d.rows.len(), 1);
+        assert_eq!(d.rows[0].x_max, 100.0);
+        assert_eq!(d.components.len(), 2);
+        assert_eq!(d.components[0].x, 2.0);
+        assert!(d.components[1].fixed);
+        assert_eq!(d.pins.len(), 1);
+        assert_eq!(d.pins[0].y, 2.0);
+    }
+
+    #[test]
+    fn nets_section_is_skipped() {
+        let with_nets = format!(
+            "{}NETS 1 ;\n - n1 ( g1 Y ) ( g2 A ) ;\nEND NETS\n",
+            SMALL_DEF.replace("END DESIGN\n", "")
+        );
+        let d = parse_def(&with_nets).unwrap();
+        assert_eq!(d.components.len(), 2);
+    }
+
+    #[test]
+    fn apply_to_verilog_netlist() {
+        let v = "module top (a, out);\ninput a;\noutput out;\nwire n1;\nNAND2_X1 g1 ( .A(a), .B(a), .Y(n1) );\nINV_X1 g2 ( .A(n1), .Y(out) );\nendmodule";
+        // NAND with both inputs on one net is structurally fine for DEF tests
+        // but would fail the single-driver rule? No: one driver (port), two
+        // sinks on the same cell — allowed? connect_by_name twice to the same
+        // net with two different pins is fine.
+        let mut nl = parse_verilog(v).unwrap();
+        let d = parse_def(SMALL_DEF).unwrap();
+        // `out` pin is not in the DEF; restrict to known objects.
+        let mut partial = d.clone();
+        partial.pins.retain(|p| nl.find_cell(&p.name).is_some());
+        partial.components.retain(|p| nl.find_cell(&p.name).is_some());
+        let n = apply_def(&mut nl, &partial).unwrap();
+        assert_eq!(n, 3);
+        let g1 = nl.find_cell("g1").unwrap();
+        assert_eq!(nl.cell(g1).pos(), crate::geom::Point::new(2.0, 4.0));
+    }
+
+    #[test]
+    fn unknown_component_is_error() {
+        let v = "module t (a);\ninput a;\nwire z;\nINV_X1 u ( .A(a), .Y(z) );\nendmodule";
+        let mut nl = parse_verilog(v).unwrap();
+        let d = parse_def(SMALL_DEF).unwrap();
+        assert!(matches!(
+            apply_def(&mut nl, &d),
+            Err(NetlistError::UnknownName(_))
+        ));
+    }
+
+    #[test]
+    fn def_verilog_roundtrip_of_generated_design() {
+        let design = generate(&GeneratorConfig::named("defrt", 120)).unwrap();
+        let vtext = write_verilog(&design.netlist, "defrt");
+        let dtext = write_def(&design);
+        let mut nl = parse_verilog(&vtext).unwrap();
+        let def = parse_def(&dtext).unwrap();
+        assert_eq!(def.design, "defrt");
+        let placed = apply_def(&mut nl, &def).unwrap();
+        assert_eq!(placed, design.netlist.num_cells());
+        // Positions match to DEF precision (1 dbu = 1/1000 um).
+        for c in design.netlist.cell_ids() {
+            let name = design.netlist.cell(c).name();
+            let c2 = nl.find_cell(name).unwrap();
+            let p1 = design.netlist.cell(c).pos();
+            let p2 = nl.cell(c2).pos();
+            assert!((p1.x - p2.x).abs() < 2e-3 && (p1.y - p2.y).abs() < 2e-3);
+        }
+        // Rows and die survive.
+        assert_eq!(def.rows.len(), design.rows.len());
+        assert!((def.diearea.xh - design.region.xh).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,97 @@
+//! Arena id newtypes.
+//!
+//! All netlist entities are referenced by dense `u32` indices wrapped in
+//! newtypes ([C-NEWTYPE]); this keeps the hot placement/timing state in flat
+//! struct-of-arrays form while preventing accidental cross-indexing.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $tag:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn new(index: usize) -> Self {
+                $name(u32::try_from(index).expect("id index overflows u32"))
+            }
+
+            /// Returns the raw index, suitable for indexing parallel arrays.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a cell instance (also used for fixed macros and I/O pads).
+    CellId,
+    "c"
+);
+define_id!(
+    /// Identifier of a pin instance.
+    PinId,
+    "p"
+);
+define_id!(
+    /// Identifier of a net.
+    NetId,
+    "n"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let c = CellId::new(42);
+        assert_eq!(c.index(), 42);
+        assert_eq!(usize::from(c), 42);
+    }
+
+    #[test]
+    fn debug_format_is_tagged() {
+        assert_eq!(format!("{:?}", CellId::new(3)), "c3");
+        assert_eq!(format!("{:?}", PinId::new(4)), "p4");
+        assert_eq!(format!("{}", NetId::new(5)), "n5");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NetId::new(1) < NetId::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn oversized_index_panics() {
+        let _ = CellId::new(usize::MAX);
+    }
+}

@@ -1,0 +1,378 @@
+//! The immutable-topology netlist model.
+//!
+//! Topology (classes, cells, pins, nets) is fixed after
+//! [`crate::NetlistBuilder::finish`]; only cell *positions* are mutable, which
+//! is exactly the degree of freedom global placement optimizes.
+
+use crate::class::{CellClass, ClassId, ClassPinId, PinDir, PinKind, PinSpec};
+use crate::error::NetlistError;
+use crate::geom::Point;
+use crate::ids::{CellId, NetId, PinId};
+use std::collections::HashMap;
+
+/// Name of the implicit class used for primary-input ports.
+pub(crate) const PI_CLASS: &str = "__PI__";
+/// Name of the implicit class used for primary-output ports.
+pub(crate) const PO_CLASS: &str = "__PO__";
+/// Name of the single pin on port classes.
+pub(crate) const PORT_PIN: &str = "P";
+
+/// A cell instance.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    pub(crate) name: String,
+    pub(crate) class: ClassId,
+    pub(crate) pos: Point,
+    pub(crate) fixed: bool,
+    pub(crate) pins: Vec<PinId>,
+}
+
+impl Cell {
+    /// Instance name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Class of this instance.
+    pub fn class(&self) -> ClassId {
+        self.class
+    }
+
+    /// Lower-left position in microns.
+    pub fn pos(&self) -> Point {
+        self.pos
+    }
+
+    /// Whether the cell is fixed (macros, I/O pads).
+    pub fn is_fixed(&self) -> bool {
+        self.fixed
+    }
+
+    /// Pin instances of this cell, parallel to the class pin templates.
+    pub fn pins(&self) -> &[PinId] {
+        &self.pins
+    }
+}
+
+/// A pin instance.
+#[derive(Clone, Debug)]
+pub struct Pin {
+    pub(crate) cell: CellId,
+    pub(crate) class_pin: ClassPinId,
+    pub(crate) net: Option<NetId>,
+}
+
+impl Pin {
+    /// Owning cell.
+    pub fn cell(&self) -> CellId {
+        self.cell
+    }
+
+    /// Pin template within the owning cell's class.
+    pub fn class_pin(&self) -> ClassPinId {
+        self.class_pin
+    }
+
+    /// Net this pin is connected to, if any.
+    pub fn net(&self) -> Option<NetId> {
+        self.net
+    }
+}
+
+/// A net — one driver pin plus sink pins.
+#[derive(Clone, Debug)]
+pub struct Net {
+    pub(crate) name: String,
+    /// After `finish()`, `pins[0]` is the driver.
+    pub(crate) pins: Vec<PinId>,
+    pub(crate) is_clock: bool,
+}
+
+impl Net {
+    /// Net name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All pins on the net; index 0 is the driver.
+    pub fn pins(&self) -> &[PinId] {
+        &self.pins
+    }
+
+    /// Number of pins (degree) of the net.
+    pub fn degree(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// Whether this net is part of the (ideal) clock network.
+    pub fn is_clock(&self) -> bool {
+        self.is_clock
+    }
+}
+
+/// A validated netlist.
+///
+/// Construct with [`crate::NetlistBuilder`]. See the crate-level example.
+#[derive(Clone, Debug, Default)]
+pub struct Netlist {
+    pub(crate) classes: Vec<CellClass>,
+    pub(crate) class_names: HashMap<String, ClassId>,
+    pub(crate) cells: Vec<Cell>,
+    pub(crate) cell_names: HashMap<String, CellId>,
+    pub(crate) pins: Vec<Pin>,
+    pub(crate) nets: Vec<Net>,
+    pub(crate) net_names: HashMap<String, NetId>,
+}
+
+impl Netlist {
+    // ---- counts -----------------------------------------------------------
+
+    /// Number of cell instances (including fixed cells and I/O ports).
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of pin instances.
+    pub fn num_pins(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// Number of nets.
+    pub fn num_nets(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of cell classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    // ---- entity access ----------------------------------------------------
+
+    /// Returns the cell with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.index()]
+    }
+
+    /// Returns the pin with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn pin(&self, id: PinId) -> &Pin {
+        &self.pins[id.index()]
+    }
+
+    /// Returns the net with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// Returns the class with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn class(&self, id: ClassId) -> &CellClass {
+        &self.classes[id.index()]
+    }
+
+    /// Class of the given cell.
+    pub fn class_of(&self, cell: CellId) -> &CellClass {
+        self.class(self.cell(cell).class)
+    }
+
+    /// Pin template (name, direction, offset) of the given pin instance.
+    pub fn pin_spec(&self, pin: PinId) -> &PinSpec {
+        let p = self.pin(pin);
+        self.class_of(p.cell).pin(p.class_pin)
+    }
+
+    // ---- iteration --------------------------------------------------------
+
+    /// Iterates over all cell ids.
+    pub fn cell_ids(&self) -> impl Iterator<Item = CellId> + '_ {
+        (0..self.cells.len()).map(CellId::new)
+    }
+
+    /// Iterates over all pin ids.
+    pub fn pin_ids(&self) -> impl Iterator<Item = PinId> + '_ {
+        (0..self.pins.len()).map(PinId::new)
+    }
+
+    /// Iterates over all net ids.
+    pub fn net_ids(&self) -> impl Iterator<Item = NetId> + '_ {
+        (0..self.nets.len()).map(NetId::new)
+    }
+
+    /// Iterates over movable (non-fixed) cell ids.
+    pub fn movable_cells(&self) -> impl Iterator<Item = CellId> + '_ {
+        self.cell_ids().filter(move |&c| !self.cell(c).fixed)
+    }
+
+    // ---- lookup by name ---------------------------------------------------
+
+    /// Finds a cell by instance name.
+    pub fn find_cell(&self, name: &str) -> Option<CellId> {
+        self.cell_names.get(name).copied()
+    }
+
+    /// Finds a net by name.
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.net_names.get(name).copied()
+    }
+
+    /// Finds a class by name.
+    pub fn find_class(&self, name: &str) -> Option<ClassId> {
+        self.class_names.get(name).copied()
+    }
+
+    /// Finds the pin instance `cell.pin_name`.
+    pub fn find_pin(&self, cell: CellId, pin_name: &str) -> Option<PinId> {
+        let c = self.cell(cell);
+        let cp = self.class(c.class).find_pin(pin_name)?;
+        Some(c.pins[cp.index()])
+    }
+
+    /// Full hierarchical name of a pin, `cell/PIN`.
+    pub fn pin_name(&self, pin: PinId) -> String {
+        let p = self.pin(pin);
+        format!("{}/{}", self.cell(p.cell).name, self.pin_spec(pin).name)
+    }
+
+    // ---- geometry ---------------------------------------------------------
+
+    /// Absolute position of a pin (cell position + template offset).
+    #[inline]
+    pub fn pin_position(&self, pin: PinId) -> Point {
+        let p = &self.pins[pin.index()];
+        let c = &self.cells[p.cell.index()];
+        let spec = self.classes[c.class.index()].pin(p.class_pin);
+        c.pos + spec.offset
+    }
+
+    /// Moves a cell to a new lower-left position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    pub fn set_cell_pos(&mut self, cell: CellId, pos: Point) {
+        self.cells[cell.index()].pos = pos;
+    }
+
+    /// Copies all cell positions out as `(x, y)` vectors indexed by cell.
+    pub fn positions(&self) -> (Vec<f64>, Vec<f64>) {
+        let xs = self.cells.iter().map(|c| c.pos.x).collect();
+        let ys = self.cells.iter().map(|c| c.pos.y).collect();
+        (xs, ys)
+    }
+
+    /// Writes cell positions back from `(x, y)` vectors indexed by cell.
+    ///
+    /// Fixed cells are *not* skipped — callers own that policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors are shorter than the cell count.
+    pub fn set_positions(&mut self, xs: &[f64], ys: &[f64]) {
+        for (i, c) in self.cells.iter_mut().enumerate() {
+            c.pos = Point::new(xs[i], ys[i]);
+        }
+    }
+
+    /// Total area of movable cells, in square microns.
+    pub fn movable_area(&self) -> f64 {
+        self.cells
+            .iter()
+            .filter(|c| !c.fixed)
+            .map(|c| self.classes[c.class.index()].area())
+            .sum()
+    }
+
+    // ---- connectivity -----------------------------------------------------
+
+    /// The driver pin of a net (an output pin), if the net is driven.
+    pub fn net_driver(&self, net: NetId) -> Option<PinId> {
+        let n = self.net(net);
+        let first = *n.pins.first()?;
+        if self.pin_spec(first).dir.is_output() {
+            Some(first)
+        } else {
+            None
+        }
+    }
+
+    /// The sink pins of a net (all pins except the driver).
+    pub fn net_sinks(&self, net: NetId) -> &[PinId] {
+        let n = self.net(net);
+        if n.pins.is_empty() {
+            &[]
+        } else {
+            &n.pins[1..]
+        }
+    }
+
+    /// Whether a pin belongs to an I/O port pseudo-cell.
+    pub fn pin_is_port(&self, pin: PinId) -> bool {
+        self.cell_is_port(self.pin(pin).cell)
+    }
+
+    /// Whether a cell is an I/O port pseudo-cell.
+    pub fn cell_is_port(&self, cell: CellId) -> bool {
+        let name = self.class_of(cell).name();
+        name == PI_CLASS || name == PO_CLASS
+    }
+
+    /// Whether a cell is a primary-input port.
+    pub fn cell_is_input_port(&self, cell: CellId) -> bool {
+        self.class_of(cell).name() == PI_CLASS
+    }
+
+    /// Whether a cell is a primary-output port.
+    pub fn cell_is_output_port(&self, cell: CellId) -> bool {
+        self.class_of(cell).name() == PO_CLASS
+    }
+
+    /// Validates structural invariants; used by the builder and by tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DriverCount`] if any net does not have exactly
+    /// one output pin.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        for (i, net) in self.nets.iter().enumerate() {
+            let drivers = net
+                .pins
+                .iter()
+                .filter(|&&p| self.pin_spec(p).dir.is_output())
+                .count();
+            if drivers != 1 {
+                return Err(NetlistError::DriverCount {
+                    net: self.nets[i].name.clone(),
+                    found: drivers,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Marks nets whose sinks include a clock pin as clock nets; called by the
+/// builder after connectivity is final.
+pub(crate) fn mark_clock_nets(nl: &mut Netlist) {
+    for ni in 0..nl.nets.len() {
+        let is_clock = nl.nets[ni].pins.iter().any(|&p| {
+            let spec = nl.pin_spec(p);
+            spec.kind == PinKind::Clock && spec.dir == PinDir::Input
+        });
+        nl.nets[ni].is_clock = is_clock;
+    }
+}

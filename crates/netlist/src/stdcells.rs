@@ -1,0 +1,153 @@
+//! Canonical synthetic standard-cell set.
+//!
+//! This table is the *contract* between the structural view (this crate), the
+//! electrical view (`dtp-liberty`'s synthetic PDK, generated from this same
+//! table) and the benchmark generator. Widths are in microns; all cells share
+//! [`ROW_HEIGHT`]. `drive` scales the output resistance of the synthetic NLDM
+//! tables (bigger drive = faster cell), `intrinsic` is the zero-load delay in
+//! picoseconds.
+
+use crate::class::{CellClass, PinDir};
+
+/// Uniform standard-cell row height in microns.
+pub const ROW_HEIGHT: f64 = 2.0;
+
+/// Legal placement site width in microns.
+pub const SITE_WIDTH: f64 = 0.25;
+
+/// Descriptor of one synthetic standard cell.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StdCellSpec {
+    /// Class / liberty cell name.
+    pub name: &'static str,
+    /// Cell width in microns.
+    pub width: f64,
+    /// Input pin names (for a register, the data pin only).
+    pub inputs: &'static [&'static str],
+    /// Output pin name.
+    pub output: &'static str,
+    /// Relative drive strength (scales down output resistance).
+    pub drive: f64,
+    /// Intrinsic (zero-load) delay in ps.
+    pub intrinsic: f64,
+    /// Whether this is a register (gets a `CK` pin, setup/hold tables).
+    pub seq: bool,
+}
+
+/// The canonical cell set. Combinational cells of 1–3 inputs at two drive
+/// strengths, plus a D flip-flop at two drive strengths.
+pub const CELLS: &[StdCellSpec] = &[
+    StdCellSpec { name: "INV_X1", width: 1.0, inputs: &["A"], output: "Y", drive: 1.0, intrinsic: 8.0, seq: false },
+    StdCellSpec { name: "INV_X2", width: 1.5, inputs: &["A"], output: "Y", drive: 2.0, intrinsic: 7.0, seq: false },
+    StdCellSpec { name: "BUF_X1", width: 1.25, inputs: &["A"], output: "Y", drive: 1.0, intrinsic: 14.0, seq: false },
+    StdCellSpec { name: "BUF_X2", width: 1.75, inputs: &["A"], output: "Y", drive: 2.0, intrinsic: 12.0, seq: false },
+    StdCellSpec { name: "NAND2_X1", width: 1.5, inputs: &["A", "B"], output: "Y", drive: 1.0, intrinsic: 10.0, seq: false },
+    StdCellSpec { name: "NAND2_X2", width: 2.0, inputs: &["A", "B"], output: "Y", drive: 2.0, intrinsic: 9.0, seq: false },
+    StdCellSpec { name: "NOR2_X1", width: 1.5, inputs: &["A", "B"], output: "Y", drive: 1.0, intrinsic: 12.0, seq: false },
+    StdCellSpec { name: "AND2_X1", width: 1.75, inputs: &["A", "B"], output: "Y", drive: 1.0, intrinsic: 16.0, seq: false },
+    StdCellSpec { name: "OR2_X1", width: 1.75, inputs: &["A", "B"], output: "Y", drive: 1.0, intrinsic: 17.0, seq: false },
+    StdCellSpec { name: "XOR2_X1", width: 2.25, inputs: &["A", "B"], output: "Y", drive: 1.0, intrinsic: 22.0, seq: false },
+    StdCellSpec { name: "NAND3_X1", width: 2.0, inputs: &["A", "B", "C"], output: "Y", drive: 1.0, intrinsic: 14.0, seq: false },
+    StdCellSpec { name: "AOI21_X1", width: 2.0, inputs: &["A", "B", "C"], output: "Y", drive: 1.0, intrinsic: 15.0, seq: false },
+    StdCellSpec { name: "OAI21_X1", width: 2.0, inputs: &["A", "B", "C"], output: "Y", drive: 1.0, intrinsic: 15.0, seq: false },
+    StdCellSpec { name: "DFF_X1", width: 4.5, inputs: &["D"], output: "Q", drive: 1.0, intrinsic: 35.0, seq: true },
+    StdCellSpec { name: "DFF_X2", width: 5.5, inputs: &["D"], output: "Q", drive: 2.0, intrinsic: 32.0, seq: true },
+];
+
+/// Name of the clock pin on sequential cells.
+pub const CLOCK_PIN: &str = "CK";
+
+/// Looks up a descriptor by cell name.
+pub fn find(name: &str) -> Option<&'static StdCellSpec> {
+    CELLS.iter().find(|c| c.name == name)
+}
+
+/// Descriptors of the combinational cells only.
+pub fn combinational() -> impl Iterator<Item = &'static StdCellSpec> {
+    CELLS.iter().filter(|c| !c.seq)
+}
+
+/// Descriptors of the sequential cells only.
+pub fn registers() -> impl Iterator<Item = &'static StdCellSpec> {
+    CELLS.iter().filter(|c| c.seq)
+}
+
+impl StdCellSpec {
+    /// Builds the structural [`CellClass`] for this descriptor, distributing
+    /// pins evenly across the cell width at mid-height.
+    pub fn to_class(&self) -> CellClass {
+        let n_pins = self.inputs.len() + 1 + usize::from(self.seq);
+        let pitch = self.width / (n_pins as f64 + 1.0);
+        let mut class = CellClass::new(self.name, self.width, ROW_HEIGHT);
+        if self.seq {
+            class = class.sequential();
+        }
+        let mut x = pitch;
+        for input in self.inputs {
+            class = class.with_pin(*input, PinDir::Input, x, ROW_HEIGHT * 0.5);
+            x += pitch;
+        }
+        class = class.with_pin(self.output, PinDir::Output, x, ROW_HEIGHT * 0.5);
+        x += pitch;
+        if self.seq {
+            class = class.with_clock_pin(CLOCK_PIN, x, ROW_HEIGHT * 0.5);
+        }
+        class
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        for (i, a) in CELLS.iter().enumerate() {
+            for b in &CELLS[i + 1..] {
+                assert_ne!(a.name, b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn find_works() {
+        assert_eq!(find("INV_X1").unwrap().width, 1.0);
+        assert!(find("NOPE").is_none());
+    }
+
+    #[test]
+    fn partitions_cover_everything() {
+        assert_eq!(
+            combinational().count() + registers().count(),
+            CELLS.len()
+        );
+        assert!(registers().all(|c| c.seq));
+    }
+
+    #[test]
+    fn class_construction() {
+        let dff = find("DFF_X1").unwrap().to_class();
+        assert!(dff.is_sequential());
+        assert!(dff.find_pin("D").is_some());
+        assert!(dff.find_pin("Q").is_some());
+        assert!(dff.find_pin(CLOCK_PIN).is_some());
+        assert_eq!(dff.height(), ROW_HEIGHT);
+
+        let nand3 = find("NAND3_X1").unwrap().to_class();
+        assert_eq!(nand3.pins().len(), 4);
+        assert!(nand3.clock_pin().is_none());
+        // Pins stay inside the footprint.
+        for p in nand3.pins() {
+            assert!(p.offset.x > 0.0 && p.offset.x < nand3.width());
+        }
+    }
+
+    #[test]
+    fn widths_are_site_multiples_within_tolerance() {
+        // Not strictly required (legalizer snaps), but widths should be
+        // positive and bounded.
+        for c in CELLS {
+            assert!(c.width > 0.0 && c.width < 10.0);
+        }
+    }
+}

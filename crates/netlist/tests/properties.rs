@@ -1,0 +1,76 @@
+//! Property-based tests of the netlist substrate: generator validity across
+//! the configuration space, format round trips and SDC parsing.
+
+use dtp_netlist::generate::{generate, GeneratorConfig};
+use dtp_netlist::{verilog, NetlistStats, Sdc};
+use proptest::prelude::*;
+
+fn cfg_strategy() -> impl Strategy<Value = GeneratorConfig> {
+    (
+        50usize..600,
+        1usize..20,
+        0.02f64..0.4,
+        1.5f64..6.0,
+        0u64..10_000,
+        0.3f64..0.9,
+    )
+        .prop_map(|(cells, depth, ff, fanout, seed, util)| {
+            let mut cfg = GeneratorConfig::named("prop", cells);
+            cfg.depth = depth;
+            cfg.register_fraction = ff;
+            cfg.mean_fanout = fanout;
+            cfg.seed = seed;
+            cfg.utilization = util;
+            cfg
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn generator_always_produces_valid_designs(cfg in cfg_strategy()) {
+        let d = generate(&cfg).expect("generator succeeds");
+        d.netlist.validate().expect("single-driver invariant");
+        let s = NetlistStats::of(&d.netlist);
+        // Cell count lands near the request.
+        prop_assert!(s.num_cells.abs_diff(cfg.num_cells) <= cfg.num_cells / 10 + 2);
+        // Utilization respects the target (region sized from it).
+        let u = d.utilization();
+        prop_assert!(u <= cfg.utilization + 0.05, "util {u} > target {}", cfg.utilization);
+        // Every movable cell sits inside the region.
+        for c in d.netlist.cell_ids() {
+            prop_assert!(d.region.contains(d.netlist.cell(c).pos()));
+        }
+        // Net degrees bounded by the fanout cap (+1 for the driver), except
+        // the clock net.
+        for n in d.netlist.net_ids() {
+            if !d.netlist.net(n).is_clock() {
+                prop_assert!(d.netlist.net(n).degree() <= cfg.max_fanout + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn verilog_roundtrip_valid_for_any_config(cfg in cfg_strategy()) {
+        let d = generate(&cfg).expect("generator succeeds");
+        let text = verilog::write_verilog(&d.netlist, "prop");
+        let back = verilog::parse_verilog(&text).expect("roundtrip parses");
+        back.validate().expect("roundtrip is valid");
+        let s1 = NetlistStats::of(&d.netlist);
+        let s2 = NetlistStats::of(&back);
+        prop_assert_eq!(s1.num_cells, s2.num_cells);
+        prop_assert_eq!(s1.num_registers, s2.num_registers);
+    }
+
+    #[test]
+    fn sdc_parse_of_written_constraints(period in 1.0f64..100000.0, d_in in 0.0f64..500.0) {
+        let text = format!(
+            "create_clock -period {period} -name clk [get_ports clk]\nset_input_delay {d_in} -clock clk [all_inputs]\n"
+        );
+        let sdc = Sdc::parse(&text).expect("well-formed SDC parses");
+        prop_assert!((sdc.clock_period - period).abs() < 1e-9);
+        prop_assert!((sdc.default_input_delay - d_in).abs() < 1e-9);
+        prop_assert_eq!(sdc.clock_port.as_deref(), Some("clk"));
+    }
+}

@@ -1,0 +1,293 @@
+//! Abacus legalization: row-based legalization that minimizes total
+//! quadratic displacement by clustering (Spindler et al., ISPD 2008).
+//!
+//! Cells are inserted in increasing x; within a row, overlapping cells are
+//! merged into *clusters* whose optimal position is the weighted mean of
+//! their members' targets, solved in closed form — which is what makes
+//! Abacus displace noticeably less than the greedy Tetris frontier for
+//! dense rows. Each cell trials a window of rows around its target y and
+//! commits to the cheapest.
+
+use dtp_netlist::{CellId, Design};
+
+/// One cluster in a row: cells `cells[first..last]` packed abutting,
+/// starting at `x`.
+#[derive(Clone, Debug)]
+struct Cluster {
+    /// Total weight (cell count; unit weights).
+    e: f64,
+    /// Σ (target − offset-in-cluster): the optimizer's linear term.
+    q: f64,
+    /// Total width.
+    w: f64,
+    /// Current position of the cluster start.
+    x: f64,
+    /// Index of the first cell of this cluster in the row's cell list.
+    first: usize,
+}
+
+/// Per-row state: committed cells (in x order) and the cluster stack.
+#[derive(Clone, Debug, Default)]
+struct RowState {
+    cells: Vec<(CellId, f64, f64)>, // (cell, width, target x)
+    clusters: Vec<Cluster>,
+    /// Committed site-quantized width (capacity bookkeeping).
+    used: f64,
+}
+
+impl RowState {
+    /// Appends a cell and re-clusters; returns nothing (positions are
+    /// recovered at the end). `x_min`/`x_max` bound the row.
+    fn push(&mut self, cell: CellId, width: f64, target: f64, x_min: f64, x_max: f64) {
+        self.used += width;
+        let first = self.cells.len();
+        self.cells.push((cell, width, target));
+        let mut c = Cluster { e: 1.0, q: target, w: width, x: 0.0, first };
+        c.x = (c.q / c.e).clamp(x_min, (x_max - c.w).max(x_min));
+        // Merge while overlapping the previous cluster.
+        while let Some(prev) = self.clusters.last() {
+            if prev.x + prev.w <= c.x + 1e-12 {
+                break;
+            }
+            let prev = self.clusters.pop().expect("checked non-empty");
+            // Standard Abacus merge: the appended cluster's targets shift by
+            // the predecessor's width.
+            let merged = Cluster {
+                e: prev.e + c.e,
+                q: prev.q + c.q - c.e * prev.w,
+                w: prev.w + c.w,
+                x: 0.0,
+                first: prev.first,
+            };
+            c = merged;
+            c.x = (c.q / c.e).clamp(x_min, (x_max - c.w).max(x_min));
+        }
+        self.clusters.push(c);
+    }
+
+    /// Cost of placing `width`/`target` into this row *without* committing:
+    /// simulates the merge on a lightweight copy of the cluster stack.
+    fn trial_cost(&self, width: f64, target: f64, x_min: f64, x_max: f64) -> f64 {
+        // Hard capacity guard: merging can push earlier cells out of the row
+        // even when the new cell itself fits, so never exceed the row width.
+        if self.used + width > (x_max - x_min) + 1e-9 {
+            return f64::INFINITY;
+        }
+        let mut stack: Vec<(f64, f64, f64, f64)> = self
+            .clusters
+            .iter()
+            .map(|c| (c.e, c.q, c.w, c.x))
+            .collect();
+        let mut c = (1.0f64, target, width, 0.0f64);
+        c.3 = (c.1 / c.0).clamp(x_min, (x_max - c.2).max(x_min));
+        while let Some(&(pe, pq, pw, px)) = stack.last() {
+            if px + pw <= c.3 + 1e-12 {
+                break;
+            }
+            stack.pop();
+            c = (pe + c.0, pq + c.1 - c.0 * pw, pw + c.2, 0.0);
+            c.3 = (c.1 / c.0).clamp(x_min, (x_max - c.2).max(x_min));
+        }
+        // The new cell sits at the end of the merged cluster.
+        let cell_x = c.3 + c.2 - width;
+        if cell_x + width > x_max + 1e-9 || cell_x < x_min - 1e-9 {
+            return f64::INFINITY;
+        }
+        (cell_x - target).abs()
+    }
+
+    /// Final x positions per committed cell.
+    fn positions(&self) -> Vec<(CellId, f64)> {
+        let mut out = Vec::with_capacity(self.cells.len());
+        for (k, cluster) in self.clusters.iter().enumerate() {
+            let last = self
+                .clusters
+                .get(k + 1)
+                .map_or(self.cells.len(), |next| next.first);
+            let mut x = cluster.x;
+            for &(cell, w, _) in &self.cells[cluster.first..last] {
+                out.push((cell, x));
+                x += w;
+            }
+        }
+        out
+    }
+}
+
+/// The Abacus legalizer.
+#[derive(Clone, Debug)]
+pub struct AbacusLegalizer {
+    row_y: Vec<f64>,
+    x_min: f64,
+    x_max: f64,
+    site: f64,
+    /// How many rows above/below the target row to trial.
+    window: usize,
+}
+
+impl AbacusLegalizer {
+    /// Builds the legalizer from the design's rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the design has no rows.
+    pub fn new(design: &Design) -> AbacusLegalizer {
+        assert!(!design.rows.is_empty(), "design has no rows");
+        AbacusLegalizer {
+            row_y: design.rows.iter().map(|r| r.y).collect(),
+            x_min: design.rows[0].x_min,
+            x_max: design.rows[0].x_max,
+            site: design.rows[0].site_width,
+            window: 6,
+        }
+    }
+
+    /// Legalizes `(xs, ys)` in place; returns `(total, max)` displacement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cell fits in no trialled row (pathologically full core).
+    pub fn legalize(&self, design: &Design, xs: &mut [f64], ys: &mut [f64]) -> (f64, f64) {
+        let nl = &design.netlist;
+        let row_h = design.row_height();
+        let mut order: Vec<CellId> = nl.movable_cells().collect();
+        order.sort_by(|&a, &b| {
+            xs[a.index()]
+                .partial_cmp(&xs[b.index()])
+                .expect("positions are finite")
+        });
+        let mut rows: Vec<RowState> = vec![RowState::default(); self.row_y.len()];
+        for c in order {
+            let i = c.index();
+            // Site-quantized width: keeps the capacity guard and the final
+            // snapping consistent.
+            let w = (nl.class_of(c).width() / self.site).ceil() * self.site;
+            let (tx, ty) = (xs[i], ys[i]);
+            let target_row = (((ty - self.row_y[0]) / row_h).round() as i64)
+                .clamp(0, self.row_y.len() as i64 - 1) as usize;
+            let mut best: Option<(f64, usize)> = None;
+            // Expand the window until some row accepts the cell.
+            let mut window = self.window;
+            while best.is_none() {
+                let lo = target_row.saturating_sub(window);
+                let hi = (target_row + window + 1).min(self.row_y.len());
+                for r in lo..hi {
+                    let dy = (self.row_y[r] - ty).abs();
+                    if let Some((bc, _)) = best {
+                        if dy >= bc {
+                            continue; // even zero x-cost cannot beat this row
+                        }
+                    }
+                    let dx = rows[r].trial_cost(w, tx, self.x_min, self.x_max);
+                    let cost = dx + dy;
+                    if cost.is_finite() && best.map_or(true, |(bc, _)| cost < bc) {
+                        best = Some((cost, r));
+                    }
+                }
+                if lo == 0 && hi == self.row_y.len() {
+                    break;
+                }
+                window *= 2;
+            }
+            let (_, row) = best.unwrap_or_else(|| panic!("no row accepts cell {c:?}"));
+            rows[row].push(c, w, tx, self.x_min, self.x_max);
+        }
+
+        // Commit positions, snapping to sites left-to-right. A suffix-width
+        // clamp guarantees the remaining cells of the row always fit, so
+        // rounding can never push a cell past the row end.
+        let mut total = 0.0f64;
+        let mut max_disp = 0.0f64;
+        for (r, row) in rows.iter().enumerate() {
+            let placed = row.positions();
+            let widths: Vec<f64> = placed
+                .iter()
+                .map(|&(cell, _)| {
+                    (design.netlist.class_of(cell).width() / self.site).ceil() * self.site
+                })
+                .collect();
+            let mut suffix = vec![0.0; placed.len() + 1];
+            for k in (0..placed.len()).rev() {
+                suffix[k] = suffix[k + 1] + widths[k];
+            }
+            let mut cursor = self.x_min;
+            for (k, &(cell, x)) in placed.iter().enumerate() {
+                let i = cell.index();
+                let latest = ((self.x_max - suffix[k]) / self.site + 1e-9).floor() * self.site;
+                let snapped = ((x / self.site).round() * self.site)
+                    .min(latest)
+                    .max(cursor);
+                let disp = (snapped - xs[i]).abs() + (self.row_y[r] - ys[i]).abs();
+                total += disp;
+                max_disp = max_disp.max(disp);
+                xs[i] = snapped;
+                ys[i] = self.row_y[r];
+                cursor = snapped + widths[k];
+            }
+        }
+        (total, max_disp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::legalize::{check_legal, Legalizer};
+    use dtp_netlist::generate::{generate, GeneratorConfig};
+
+    #[test]
+    fn produces_legal_placement() {
+        let d = generate(&GeneratorConfig::named("ab", 400)).unwrap();
+        let (mut xs, mut ys) = d.netlist.positions();
+        let (total, max) = AbacusLegalizer::new(&d).legalize(&d, &mut xs, &mut ys);
+        assert!(total >= 0.0 && max >= 0.0);
+        let violations = check_legal(&d, &xs, &ys);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn beats_or_matches_tetris_on_displacement() {
+        // Abacus minimizes displacement via clustering; on a spread
+        // placement it should not be substantially worse than Tetris, and is
+        // typically better.
+        let d = generate(&GeneratorConfig::named("ab2", 500)).unwrap();
+        let (xs0, ys0) = d.netlist.positions();
+        let mut xa = xs0.clone();
+        let mut ya = ys0.clone();
+        let (abacus_total, _) = AbacusLegalizer::new(&d).legalize(&d, &mut xa, &mut ya);
+        let mut xt = xs0.clone();
+        let mut yt = ys0.clone();
+        let (tetris_total, _) = Legalizer::new(&d).legalize(&d, &mut xt, &mut yt);
+        assert!(
+            abacus_total <= tetris_total * 1.05,
+            "abacus {abacus_total} vs tetris {tetris_total}"
+        );
+    }
+
+    #[test]
+    fn dense_row_clusters_share_space() {
+        // Pile many cells onto one target row: Abacus must spill or pack
+        // them legally.
+        let d = generate(&GeneratorConfig::named("ab3", 200)).unwrap();
+        let (mut xs, mut ys) = d.netlist.positions();
+        let y_target = d.region.center().y;
+        for c in d.netlist.movable_cells() {
+            ys[c.index()] = y_target;
+            xs[c.index()] = d.region.center().x;
+        }
+        AbacusLegalizer::new(&d).legalize(&d, &mut xs, &mut ys);
+        let violations = check_legal(&d, &xs, &ys);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = generate(&GeneratorConfig::named("ab4", 150)).unwrap();
+        let (mut x1, mut y1) = d.netlist.positions();
+        let (mut x2, mut y2) = d.netlist.positions();
+        AbacusLegalizer::new(&d).legalize(&d, &mut x1, &mut y1);
+        AbacusLegalizer::new(&d).legalize(&d, &mut x2, &mut y2);
+        assert_eq!(x1, x2);
+        assert_eq!(y1, y2);
+    }
+}

@@ -1,0 +1,203 @@
+//! SVG rendering of placements — the visual counterpart of the paper's
+//! Figure 1. Cells can be colored uniformly, by density, or by a caller
+//! supplied per-cell scalar (e.g. worst pin slack), which makes timing
+//! hotspots visible at a glance.
+
+use dtp_netlist::Design;
+use std::fmt::Write as _;
+
+/// Options for [`render_svg`].
+#[derive(Clone, Debug)]
+pub struct PlotOptions {
+    /// Pixel width of the output; height follows the die aspect ratio.
+    pub width_px: f64,
+    /// Per-cell scalar in `[0, 1]` mapped to a cold→hot color ramp
+    /// (`None` renders all cells in a neutral fill).
+    pub heat: Option<Vec<f64>>,
+    /// Draw the placement-row grid lines.
+    pub draw_rows: bool,
+    /// Plot title (rendered above the die).
+    pub title: String,
+}
+
+impl Default for PlotOptions {
+    fn default() -> Self {
+        PlotOptions {
+            width_px: 800.0,
+            heat: None,
+            draw_rows: false,
+            title: String::new(),
+        }
+    }
+}
+
+/// Maps `t ∈ [0,1]` to a blue→red ramp.
+fn heat_color(t: f64) -> String {
+    let t = t.clamp(0.0, 1.0);
+    let r = (40.0 + 215.0 * t) as u8;
+    let g = (90.0 * (1.0 - t) + 40.0) as u8;
+    let b = (200.0 * (1.0 - t) + 30.0) as u8;
+    format!("#{r:02x}{g:02x}{b:02x}")
+}
+
+/// Renders the design's current cell positions (or the positions in
+/// `xs`/`ys` when given) as an SVG string.
+///
+/// # Panics
+///
+/// Panics if `opts.heat` is provided with a length other than the cell count,
+/// or if positions are provided with mismatched lengths.
+pub fn render_svg(
+    design: &Design,
+    xs: Option<&[f64]>,
+    ys: Option<&[f64]>,
+    opts: &PlotOptions,
+) -> String {
+    let nl = &design.netlist;
+    if let Some(h) = &opts.heat {
+        assert_eq!(h.len(), nl.num_cells(), "one heat value per cell");
+    }
+    let (own_x, own_y);
+    let (xs, ys) = match (xs, ys) {
+        (Some(x), Some(y)) => (x, y),
+        _ => {
+            let (x, y) = nl.positions();
+            own_x = x;
+            own_y = y;
+            (&own_x[..], &own_y[..])
+        }
+    };
+    assert!(xs.len() >= nl.num_cells() && ys.len() >= nl.num_cells());
+
+    let die = design.region;
+    let scale = opts.width_px / die.width().max(1e-9);
+    let h_px = die.height() * scale;
+    let title_h = if opts.title.is_empty() { 0.0 } else { 24.0 };
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{:.0}" height="{:.0}" viewBox="0 0 {:.0} {:.0}">"#,
+        opts.width_px + 2.0,
+        h_px + title_h + 2.0,
+        opts.width_px + 2.0,
+        h_px + title_h + 2.0
+    );
+    if !opts.title.is_empty() {
+        let _ = writeln!(
+            svg,
+            r#"<text x="4" y="16" font-family="monospace" font-size="14">{}</text>"#,
+            opts.title
+        );
+    }
+    // Die outline.
+    let _ = writeln!(
+        svg,
+        r##"<rect x="1" y="{:.1}" width="{:.1}" height="{:.1}" fill="#fafafa" stroke="#333"/>"##,
+        title_h + 1.0,
+        opts.width_px,
+        h_px
+    );
+    // SVG y grows downward; flip so die yl is at the bottom.
+    let ty = |y: f64| title_h + 1.0 + (die.yh - y) * scale;
+    let tx = |x: f64| 1.0 + (x - die.xl) * scale;
+    if opts.draw_rows {
+        for row in &design.rows {
+            let _ = writeln!(
+                svg,
+                r##"<line x1="{:.1}" y1="{:.2}" x2="{:.1}" y2="{:.2}" stroke="#ddd" stroke-width="0.5"/>"##,
+                tx(row.x_min),
+                ty(row.y),
+                tx(row.x_max),
+                ty(row.y)
+            );
+        }
+    }
+    for c in nl.cell_ids() {
+        let i = c.index();
+        let class = nl.class_of(c);
+        let (w, h) = (class.width(), class.height());
+        let fill = if nl.cell(c).is_fixed() {
+            "#999999".to_owned()
+        } else {
+            match &opts.heat {
+                Some(heat) => heat_color(heat[i]),
+                None => "#5b8dd6".to_owned(),
+            }
+        };
+        if w <= 0.0 || h <= 0.0 {
+            // Zero-area ports: draw a small marker.
+            let _ = writeln!(
+                svg,
+                r#"<circle cx="{:.2}" cy="{:.2}" r="2" fill="{fill}"/>"#,
+                tx(xs[i]),
+                ty(ys[i])
+            );
+        } else {
+            let _ = writeln!(
+                svg,
+                r#"<rect x="{:.2}" y="{:.2}" width="{:.2}" height="{:.2}" fill="{fill}" fill-opacity="0.8" stroke="none"/>"#,
+                tx(xs[i]),
+                ty(ys[i] + h),
+                w * scale,
+                h * scale
+            );
+        }
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtp_netlist::generate::{generate, GeneratorConfig};
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let d = generate(&GeneratorConfig::named("plot", 120)).unwrap();
+        let svg = render_svg(&d, None, None, &PlotOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // One rect per movable cell + die outline; ports as circles.
+        let rects = svg.matches("<rect").count();
+        let movable = d.netlist.movable_cells().count();
+        assert_eq!(rects, movable + 1);
+        assert!(svg.matches("<circle").count() > 0);
+    }
+
+    #[test]
+    fn heat_coloring_and_rows() {
+        let d = generate(&GeneratorConfig::named("plot2", 60)).unwrap();
+        let heat: Vec<f64> = (0..d.netlist.num_cells()).map(|i| i as f64 / 60.0).collect();
+        let opts = PlotOptions {
+            heat: Some(heat),
+            draw_rows: true,
+            title: "hotspots".into(),
+            ..PlotOptions::default()
+        };
+        let svg = render_svg(&d, None, None, &opts);
+        assert!(svg.contains("hotspots"));
+        assert!(svg.matches("<line").count() >= d.rows.len());
+        // A movable cell's heat color is present (fixed cells render gray).
+        let movable = d.netlist.movable_cells().next().unwrap();
+        let expect = heat_color(movable.index() as f64 / 60.0);
+        assert!(svg.contains(&expect), "missing {expect}");
+    }
+
+    #[test]
+    fn heat_color_ramp_ends() {
+        // Cold end: blue-dominant; hot end: red-dominant.
+        assert_eq!(heat_color(0.0), "#2882e6");
+        assert_eq!(heat_color(1.0), "#ff281e");
+        assert_eq!(heat_color(-5.0), heat_color(0.0)); // clamped
+        assert_eq!(heat_color(7.0), heat_color(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "one heat value per cell")]
+    fn wrong_heat_length_panics() {
+        let d = generate(&GeneratorConfig::named("plot3", 40)).unwrap();
+        let opts = PlotOptions { heat: Some(vec![0.5; 3]), ..PlotOptions::default() };
+        let _ = render_svg(&d, None, None, &opts);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests of the placement substrate: spectral transforms,
+//! wirelength model and legalizers over random inputs.
+
+use dtp_netlist::generate::{generate, GeneratorConfig};
+use dtp_place::{check_legal, AbacusLegalizer, Legalizer, Spectral2D, WirelengthModel};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dct_roundtrip_random_grids(
+        m in 1usize..24,
+        n in 1usize..24,
+        seed in 0u64..1000,
+    ) {
+        let s = Spectral2D::new(m, n, 3.0, 5.0);
+        let grid: Vec<f64> = (0..m * n)
+            .map(|k| (((k as u64 * 1103515245 + seed) % 1000) as f64) / 100.0 - 5.0)
+            .collect();
+        let back = s.idct2(&s.dct2(&grid));
+        for (a, b) in grid.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn poisson_solver_is_linear(
+        m in 4usize..20,
+        seed in 0u64..1000,
+        alpha in 0.1f64..5.0,
+    ) {
+        let s = Spectral2D::new(m, m, 2.0, 2.0);
+        let rho: Vec<f64> = (0..m * m)
+            .map(|k| (((k as u64 * 2654435761 + seed) % 1000) as f64) / 500.0 - 1.0)
+            .collect();
+        let scaled: Vec<f64> = rho.iter().map(|v| v * alpha).collect();
+        let a = s.solve(&rho);
+        let b = s.solve(&scaled);
+        for i in 0..m * m {
+            prop_assert!((b.psi[i] - alpha * a.psi[i]).abs() < 1e-8 * (1.0 + a.psi[i].abs()));
+            prop_assert!(
+                (b.dpsi_dx[i] - alpha * a.dpsi_dx[i]).abs()
+                    < 1e-8 * (1.0 + a.dpsi_dx[i].abs())
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_mirror_symmetry(m in 4usize..16, seed in 0u64..500) {
+        // Mirroring the density in x mirrors ψ and negates ∂ψ/∂x.
+        let s = Spectral2D::new(m, m, 3.0, 3.0);
+        let rho: Vec<f64> = (0..m * m)
+            .map(|k| (((k as u64 * 1103515245 + seed) % 1000) as f64) / 500.0 - 1.0)
+            .collect();
+        let mirrored: Vec<f64> = (0..m * m)
+            .map(|k| {
+                let (i, j) = (k / m, k % m);
+                rho[(m - 1 - i) * m + j]
+            })
+            .collect();
+        let a = s.solve(&rho);
+        let b = s.solve(&mirrored);
+        for i in 0..m {
+            for j in 0..m {
+                let k = i * m + j;
+                let km = (m - 1 - i) * m + j;
+                prop_assert!((a.psi[k] - b.psi[km]).abs() < 1e-8);
+                prop_assert!((a.dpsi_dx[k] + b.dpsi_dx[km]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn wa_wirelength_bounds_hpwl(
+        cells in 60usize..250,
+        seed in 0u64..500,
+        gamma in 0.05f64..5.0,
+    ) {
+        let mut cfg = GeneratorConfig::named("pp", cells);
+        cfg.seed = seed;
+        let d = generate(&cfg).expect("generator succeeds");
+        let m = WirelengthModel::new(&d.netlist);
+        let (xs, ys) = d.netlist.positions();
+        let hpwl = m.hpwl(&xs, &ys);
+        let (wa, _, _) = m.wa_gradient(&xs, &ys, gamma, None);
+        // WA underestimates HPWL, and converges to it as γ → 0.
+        prop_assert!(wa <= hpwl + 1e-6, "wa {wa} > hpwl {hpwl}");
+        prop_assert!(wa >= hpwl - gamma * 4.0 * m.num_nets() as f64, "wa too loose");
+    }
+
+    #[test]
+    fn both_legalizers_always_legal(
+        cells in 60usize..300,
+        seed in 0u64..500,
+    ) {
+        let mut cfg = GeneratorConfig::named("pl", cells);
+        cfg.seed = seed;
+        let d = generate(&cfg).expect("generator succeeds");
+        for abacus in [false, true] {
+            let (mut xs, mut ys) = d.netlist.positions();
+            if abacus {
+                AbacusLegalizer::new(&d).legalize(&d, &mut xs, &mut ys);
+            } else {
+                Legalizer::new(&d).legalize(&d, &mut xs, &mut ys);
+            }
+            let violations = check_legal(&d, &xs, &ys);
+            prop_assert!(
+                violations.is_empty(),
+                "abacus={abacus}: {violations:?}"
+            );
+        }
+    }
+}

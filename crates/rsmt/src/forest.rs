@@ -1,0 +1,157 @@
+//! Batched Steiner-tree construction for a whole netlist.
+
+use crate::tree::SteinerTree;
+use dtp_netlist::{NetId, Netlist, Point};
+use rayon::prelude::*;
+
+/// Steiner trees for every non-clock net of a netlist, indexed by net.
+///
+/// Clock nets are skipped (the flow treats the clock network as ideal;
+/// besides, the clock net's degree equals the register count and would
+/// dominate runtime while contributing nothing to data-path timing).
+#[derive(Clone, Debug)]
+pub struct SteinerForest {
+    trees: Vec<Option<SteinerTree>>,
+}
+
+impl SteinerForest {
+    /// The tree of `net`, or `None` for clock nets.
+    pub fn tree(&self, net: NetId) -> Option<&SteinerTree> {
+        self.trees[net.index()].as_ref()
+    }
+
+    /// Number of net slots (equals the netlist's net count).
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Whether the forest is empty.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// Total wirelength across all trees.
+    pub fn total_wirelength(&self) -> f64 {
+        self.trees
+            .iter()
+            .flatten()
+            .map(SteinerTree::wirelength)
+            .sum()
+    }
+
+    /// Updates a single net's tree from the netlist's current pin positions
+    /// (no topology rebuild). No-op for clock nets. Use after moving one
+    /// cell when a full [`SteinerForest::update_positions`] sweep would be
+    /// wasteful (e.g. trial moves in timing-driven detailed placement).
+    pub fn update_net(&mut self, nl: &Netlist, net: NetId) {
+        if let Some(tree) = self.trees[net.index()].as_mut() {
+            let pins: Vec<Point> = nl
+                .net(net)
+                .pins()
+                .iter()
+                .map(|&p| nl.pin_position(p))
+                .collect();
+            tree.update_pins(&pins);
+        }
+    }
+
+    /// Re-reads pin positions from the netlist and updates every tree without
+    /// rebuilding topology (the cheap between-rebuild path of §3.6).
+    pub fn update_positions(&mut self, nl: &Netlist) {
+        let jobs: Vec<(usize, Vec<Point>)> = nl
+            .net_ids()
+            .filter(|&n| self.trees[n.index()].is_some())
+            .map(|n| {
+                let pins: Vec<Point> = nl
+                    .net(n)
+                    .pins()
+                    .iter()
+                    .map(|&p| nl.pin_position(p))
+                    .collect();
+                (n.index(), pins)
+            })
+            .collect();
+        // Distribute the per-tree updates; trees are disjoint.
+        let mut slots: Vec<(usize, &mut Option<SteinerTree>)> =
+            self.trees.iter_mut().enumerate().collect();
+        slots.par_iter_mut().for_each(|(i, slot)| {
+            if let Some(tree) = slot.as_mut() {
+                if let Ok(j) = jobs.binary_search_by_key(i, |(k, _)| *k) {
+                    tree.update_pins(&jobs[j].1);
+                }
+            }
+        });
+    }
+}
+
+/// Builds Steiner trees for all non-clock nets in parallel (rayon), the
+/// analogue of the paper's multi-threaded FLUTE invocation.
+pub fn build_forest(nl: &Netlist) -> SteinerForest {
+    let nets: Vec<NetId> = nl.net_ids().collect();
+    let trees: Vec<Option<SteinerTree>> = nets
+        .par_iter()
+        .map(|&n| {
+            let net = nl.net(n);
+            if net.is_clock() || net.degree() == 0 {
+                return None;
+            }
+            let pins: Vec<Point> = net.pins().iter().map(|&p| nl.pin_position(p)).collect();
+            Some(SteinerTree::build(&pins))
+        })
+        .collect();
+    SteinerForest { trees }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtp_netlist::generate::{generate, GeneratorConfig};
+
+    #[test]
+    fn forest_covers_signal_nets_only() {
+        let d = generate(&GeneratorConfig::named("f", 150)).unwrap();
+        let forest = build_forest(&d.netlist);
+        assert_eq!(forest.len(), d.netlist.num_nets());
+        for n in d.netlist.net_ids() {
+            let net = d.netlist.net(n);
+            if net.is_clock() {
+                assert!(forest.tree(n).is_none(), "clock net has a tree");
+            } else {
+                let t = forest.tree(n).expect("signal net has a tree");
+                assert_eq!(t.num_pins(), net.degree());
+            }
+        }
+        assert!(forest.total_wirelength() > 0.0);
+    }
+
+    #[test]
+    fn update_positions_tracks_netlist() {
+        let mut d = generate(&GeneratorConfig::named("f", 120)).unwrap();
+        let mut forest = build_forest(&d.netlist);
+        let wl0 = forest.total_wirelength();
+        // Move every movable cell by a constant offset: wirelength is
+        // translation invariant.
+        let (mut xs, mut ys) = d.netlist.positions();
+        let movable: Vec<bool> = d
+            .netlist
+            .cell_ids()
+            .map(|c| !d.netlist.cell(c).is_fixed())
+            .collect();
+        for i in 0..xs.len() {
+            if movable[i] {
+                xs[i] += 3.0;
+                ys[i] -= 2.0;
+            }
+        }
+        d.netlist.set_positions(&xs, &ys);
+        forest.update_positions(&d.netlist);
+        let wl1 = forest.total_wirelength();
+        // Ports are fixed, so wirelength changes, but trees must stay
+        // consistent with the new pin positions: rebuildable invariant.
+        let rebuilt = build_forest(&d.netlist);
+        // The reused topology can only be as good as or worse than rebuilt
+        // trees (paper's accuracy-for-speed trade).
+        assert!(wl1 >= rebuilt.total_wirelength() - 1e-6);
+        assert!(wl0 > 0.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Rectilinear Steiner minimal tree construction — the FLUTE substitute.
+//!
+//! Timing-driven placement needs a routing-topology estimate per net to feed
+//! the Elmore wire-delay model (§3.4.1 of the paper). The original work uses
+//! FLUTE, a licensed LUT-based RSMT package; the paper notes that "FLUTE can
+//! be replaced by other RSMT generation algorithms in our framework". This
+//! crate provides:
+//!
+//! - exact RSMT for nets of degree ≤ 4 (median construction / Hanan-grid
+//!   enumeration),
+//! - a rectilinear Prim heuristic with corner steinerization for larger nets,
+//! - **branch tracking**: every Steiner point records which pin owns its x
+//!   and which owns its y coordinate, so (a) [`SteinerTree::update_pins`]
+//!   moves Steiner points along with their branches instead of rebuilding
+//!   (Fig. 4 / §3.6 tree reuse), and (b) gradients landing on Steiner points
+//!   are routed back to real pins by [`SteinerTree::scatter_gradient`].
+//! - [`build_forest`]: rayon-parallel tree construction for all nets of a
+//!   netlist (the paper's multi-threaded FLUTE calls).
+//!
+//! # Example
+//!
+//! ```
+//! use dtp_netlist::Point;
+//! use dtp_rsmt::SteinerTree;
+//!
+//! let pins = [Point::new(0.0, 0.0), Point::new(4.0, 3.0), Point::new(4.0, -3.0)];
+//! let tree = SteinerTree::build(&pins);
+//! // Optimal: trunk to (4, 0), then split — total 4 + 3 + 3 = 10.
+//! assert_eq!(tree.wirelength(), 10.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod forest;
+mod hanan;
+mod mst;
+mod tree;
+
+pub use forest::{build_forest, SteinerForest};
+pub use tree::SteinerTree;

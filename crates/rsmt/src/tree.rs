@@ -1,0 +1,275 @@
+//! The Steiner tree data structure with branch tracking.
+
+use dtp_netlist::Point;
+
+/// A rooted rectilinear Steiner tree over a net's pins.
+///
+/// Nodes `0..num_pins()` are the net pins in their original order (node 0 is
+/// the driver and the tree root); nodes `num_pins()..num_nodes()` are Steiner
+/// points. Every node records which *pin* owns its x coordinate and which
+/// owns its y coordinate (for pins: itself); this is the paper's Fig. 4
+/// branch bookkeeping, used both for incremental updates and for routing
+/// Steiner-point gradients back to pins.
+#[derive(Clone, Debug)]
+pub struct SteinerTree {
+    nodes: Vec<Point>,
+    n_pins: usize,
+    /// Parent of each node; the root is its own parent.
+    parent: Vec<u32>,
+    /// Pre-order traversal (root first); reverse is a valid bottom-up order.
+    order: Vec<u32>,
+    x_src: Vec<u32>,
+    y_src: Vec<u32>,
+}
+
+impl SteinerTree {
+    /// Builds the tree for `pins` (`pins[0]` is the driver/root).
+    ///
+    /// Degree ≤ 4 nets use exact constructions; larger nets use a rectilinear
+    /// Prim heuristic with corner steinerization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pins` is empty.
+    pub fn build(pins: &[Point]) -> SteinerTree {
+        assert!(!pins.is_empty(), "a net must have at least one pin");
+        match pins.len() {
+            1 => SteinerTree::from_parts(pins, vec![], vec![]),
+            2 => SteinerTree::from_parts(pins, vec![], vec![(0, 1)]),
+            3 | 4 => crate::hanan::build_exact_small(pins),
+            _ => crate::mst::build_prim_steiner(pins),
+        }
+    }
+
+    /// Assembles a tree from pins, Steiner points (with their coordinate
+    /// sources) and undirected edges, then roots it at node 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edges do not form a spanning tree over all nodes.
+    pub(crate) fn from_parts(
+        pins: &[Point],
+        steiner: Vec<(Point, u32, u32)>,
+        edges: Vec<(usize, usize)>,
+    ) -> SteinerTree {
+        let n_pins = pins.len();
+        let n = n_pins + steiner.len();
+        let mut nodes = Vec::with_capacity(n);
+        let mut x_src = Vec::with_capacity(n);
+        let mut y_src = Vec::with_capacity(n);
+        for (i, &p) in pins.iter().enumerate() {
+            nodes.push(p);
+            x_src.push(i as u32);
+            y_src.push(i as u32);
+        }
+        for (p, xs, ys) in steiner {
+            debug_assert!((xs as usize) < n_pins && (ys as usize) < n_pins);
+            nodes.push(p);
+            x_src.push(xs);
+            y_src.push(ys);
+        }
+        // Adjacency for rooting.
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &(a, b) in &edges {
+            adj[a].push(b as u32);
+            adj[b].push(a as u32);
+        }
+        let mut parent = vec![u32::MAX; n];
+        let mut order = Vec::with_capacity(n);
+        parent[0] = 0;
+        let mut stack = vec![0u32];
+        while let Some(u) = stack.pop() {
+            order.push(u);
+            for &v in &adj[u as usize] {
+                if parent[v as usize] == u32::MAX {
+                    parent[v as usize] = u;
+                    stack.push(v);
+                }
+            }
+        }
+        assert_eq!(order.len(), n, "edges do not span all tree nodes");
+        SteinerTree { nodes, n_pins, parent, order, x_src, y_src }
+    }
+
+    /// Number of pin nodes.
+    pub fn num_pins(&self) -> usize {
+        self.n_pins
+    }
+
+    /// Total number of nodes (pins + Steiner points).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Position of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn node_pos(&self, i: usize) -> Point {
+        self.nodes[i]
+    }
+
+    /// Parent of node `i`, or `None` for the root.
+    #[inline]
+    pub fn parent_of(&self, i: usize) -> Option<usize> {
+        let p = self.parent[i] as usize;
+        (p != i).then_some(p)
+    }
+
+    /// Pre-order traversal, root first. The reverse order visits children
+    /// before parents (the bottom-up order of the Elmore passes).
+    pub fn preorder(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// Pin indices owning each node's x coordinate.
+    pub fn x_sources(&self) -> &[u32] {
+        &self.x_src
+    }
+
+    /// Pin indices owning each node's y coordinate.
+    pub fn y_sources(&self) -> &[u32] {
+        &self.y_src
+    }
+
+    /// Iterates over `(child, parent)` edges.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.num_nodes()).filter_map(move |i| self.parent_of(i).map(|p| (i, p)))
+    }
+
+    /// Manhattan length of the edge from node `i` to its parent (0 for root).
+    #[inline]
+    pub fn edge_length(&self, i: usize) -> f64 {
+        match self.parent_of(i) {
+            Some(p) => self.nodes[i].manhattan(self.nodes[p]),
+            None => 0.0,
+        }
+    }
+
+    /// Total tree wirelength.
+    pub fn wirelength(&self) -> f64 {
+        (0..self.num_nodes()).map(|i| self.edge_length(i)).sum()
+    }
+
+    /// Moves the pins to new positions and lets the Steiner points ride along
+    /// with their branches (Fig. 4): each Steiner coordinate is re-read from
+    /// its source pin. The topology is unchanged — this is the cheap update
+    /// used for the 9 iterations between FLUTE rebuilds (§3.6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pins.len() != num_pins()`.
+    pub fn update_pins(&mut self, pins: &[Point]) {
+        assert_eq!(pins.len(), self.n_pins, "pin count changed");
+        self.nodes[..self.n_pins].copy_from_slice(pins);
+        for i in self.n_pins..self.nodes.len() {
+            self.nodes[i] = Point::new(
+                self.nodes[self.x_src[i] as usize].x,
+                self.nodes[self.y_src[i] as usize].y,
+            );
+        }
+    }
+
+    /// Routes per-node gradients back to per-pin gradients: pin nodes keep
+    /// their own gradient, Steiner-point gradients are added to the pins that
+    /// own the corresponding coordinate (the backward counterpart of Fig. 4).
+    ///
+    /// `grad_x[i]`, `grad_y[i]` are ∂f/∂(node i position); the result is
+    /// indexed by pin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient slices are shorter than `num_nodes()`.
+    pub fn scatter_gradient(&self, grad_x: &[f64], grad_y: &[f64]) -> Vec<(f64, f64)> {
+        let mut out = vec![(0.0, 0.0); self.n_pins];
+        for i in 0..self.num_nodes() {
+            out[self.x_src[i] as usize].0 += grad_x[i];
+            out[self.y_src[i] as usize].1 += grad_y[i];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_pin() {
+        let t = SteinerTree::build(&[Point::new(1.0, 2.0)]);
+        assert_eq!(t.num_nodes(), 1);
+        assert_eq!(t.wirelength(), 0.0);
+        assert_eq!(t.parent_of(0), None);
+        assert_eq!(t.edges().count(), 0);
+    }
+
+    #[test]
+    fn two_pins() {
+        let t = SteinerTree::build(&[Point::new(0.0, 0.0), Point::new(3.0, 4.0)]);
+        assert_eq!(t.num_nodes(), 2);
+        assert_eq!(t.wirelength(), 7.0);
+        assert_eq!(t.parent_of(1), Some(0));
+    }
+
+    #[test]
+    fn preorder_parents_first() {
+        let pins: Vec<Point> = (0..8)
+            .map(|i| Point::new((i * 7 % 5) as f64, (i * 3 % 7) as f64))
+            .collect();
+        let t = SteinerTree::build(&pins);
+        let order = t.preorder();
+        assert_eq!(order.len(), t.num_nodes());
+        let mut seen = vec![false; t.num_nodes()];
+        for &u in order {
+            if let Some(p) = t.parent_of(u as usize) {
+                assert!(seen[p], "parent of {u} not visited first");
+            }
+            seen[u as usize] = true;
+        }
+    }
+
+    #[test]
+    fn update_pins_moves_steiner_points() {
+        let mut pins = vec![Point::new(0.0, 0.0), Point::new(4.0, 3.0), Point::new(4.0, -3.0)];
+        let mut t = SteinerTree::build(&pins);
+        assert!(t.num_nodes() > 3, "median construction adds a Steiner point");
+        let wl0 = t.wirelength();
+        // Shift everything by (1, 1): wirelength invariant, Steiner follows.
+        for p in &mut pins {
+            *p += Point::new(1.0, 1.0);
+        }
+        t.update_pins(&pins);
+        assert!((t.wirelength() - wl0).abs() < 1e-12);
+        let s = t.node_pos(3);
+        assert_eq!(s, Point::new(5.0, 1.0));
+    }
+
+    #[test]
+    fn scatter_gradient_routes_to_source_pins() {
+        let pins = vec![Point::new(0.0, 0.0), Point::new(4.0, 3.0), Point::new(4.0, -3.0)];
+        let t = SteinerTree::build(&pins);
+        let n = t.num_nodes();
+        // Put gradient 1.0 on the Steiner point only.
+        let mut gx = vec![0.0; n];
+        let mut gy = vec![0.0; n];
+        gx[n - 1] = 1.0;
+        gy[n - 1] = 2.0;
+        let per_pin = t.scatter_gradient(&gx, &gy);
+        let total_x: f64 = per_pin.iter().map(|g| g.0).sum();
+        let total_y: f64 = per_pin.iter().map(|g| g.1).sum();
+        assert_eq!(total_x, 1.0);
+        assert_eq!(total_y, 2.0);
+        // The x gradient lands on the pin owning the Steiner x (a pin with x = 4).
+        let xs = t.x_sources()[n - 1] as usize;
+        assert_eq!(pins[xs].x, 4.0);
+        assert_eq!(per_pin[xs].0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pin")]
+    fn empty_net_panics() {
+        let _ = SteinerTree::build(&[]);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests of the Steiner tree invariants over random nets.
+
+use dtp_netlist::{Point, Rect};
+use dtp_rsmt::SteinerTree;
+use proptest::prelude::*;
+
+fn pins_strategy(max: usize) -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec((0.0..200.0f64, 0.0..200.0f64), 1..max)
+        .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tree_spans_and_is_acyclic(pins in pins_strategy(24)) {
+        let t = SteinerTree::build(&pins);
+        prop_assert_eq!(t.num_pins(), pins.len());
+        // Every node reaches the root without cycling.
+        for i in 0..t.num_nodes() {
+            let mut u = i;
+            let mut hops = 0;
+            while let Some(p) = t.parent_of(u) {
+                u = p;
+                hops += 1;
+                prop_assert!(hops <= t.num_nodes(), "cycle through node {i}");
+            }
+            prop_assert_eq!(u, 0);
+        }
+        // Edge count of a tree.
+        prop_assert_eq!(t.edges().count(), t.num_nodes() - 1);
+    }
+
+    #[test]
+    fn wirelength_between_hpwl_and_star(pins in pins_strategy(24)) {
+        let t = SteinerTree::build(&pins);
+        let wl = t.wirelength();
+        if pins.len() >= 2 {
+            let bbox = Rect::bounding(pins.iter().copied()).expect("non-empty");
+            prop_assert!(wl >= bbox.half_perimeter() - 1e-9, "wl {wl} < HPWL");
+            let star: f64 = pins[1..].iter().map(|p| p.manhattan(pins[0])).sum();
+            prop_assert!(wl <= star + 1e-9, "wl {wl} > star {star}");
+        } else {
+            prop_assert_eq!(wl, 0.0);
+        }
+    }
+
+    #[test]
+    fn update_with_same_positions_is_identity(pins in pins_strategy(16)) {
+        let t0 = SteinerTree::build(&pins);
+        let mut t = t0.clone();
+        t.update_pins(&pins);
+        prop_assert_eq!(t.num_nodes(), t0.num_nodes());
+        for i in 0..t.num_nodes() {
+            prop_assert_eq!(t.node_pos(i), t0.node_pos(i));
+        }
+        prop_assert!((t.wirelength() - t0.wirelength()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scatter_gradient_conserves_totals(
+        pins in pins_strategy(16),
+        gseed in 0u64..1000,
+    ) {
+        let t = SteinerTree::build(&pins);
+        let n = t.num_nodes();
+        // Deterministic pseudo-random gradients from the seed.
+        let g = |k: usize, salt: u64| ((k as u64 * 2654435761 + gseed + salt) % 1000) as f64 / 500.0 - 1.0;
+        let gx: Vec<f64> = (0..n).map(|k| g(k, 0)).collect();
+        let gy: Vec<f64> = (0..n).map(|k| g(k, 7)).collect();
+        let per_pin = t.scatter_gradient(&gx, &gy);
+        let (tx, ty): (f64, f64) = (gx.iter().sum(), gy.iter().sum());
+        let (sx, sy): (f64, f64) = (
+            per_pin.iter().map(|p| p.0).sum(),
+            per_pin.iter().map(|p| p.1).sum(),
+        );
+        // Gradient mass is redistributed, never created or lost (the
+        // translation-invariance prerequisite).
+        prop_assert!((tx - sx).abs() < 1e-9, "x: {tx} vs {sx}");
+        prop_assert!((ty - sy).abs() < 1e-9, "y: {ty} vs {sy}");
+    }
+
+    #[test]
+    fn translation_moves_everything_rigidly(pins in pins_strategy(12), dx in -50.0..50.0f64, dy in -50.0..50.0f64) {
+        let mut t = SteinerTree::build(&pins);
+        let wl0 = t.wirelength();
+        let shifted: Vec<Point> = pins.iter().map(|p| *p + Point::new(dx, dy)).collect();
+        t.update_pins(&shifted);
+        prop_assert!((t.wirelength() - wl0).abs() < 1e-9);
+        for i in 0..t.num_nodes() {
+            let orig = SteinerTree::build(&pins).node_pos(i);
+            let moved = t.node_pos(i);
+            prop_assert!((moved.x - orig.x - dx).abs() < 1e-9);
+            prop_assert!((moved.y - orig.y - dy).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn small_nets_are_optimal_vs_exhaustive_mst(pins in pins_strategy(5)) {
+        // For ≤4 pins the construction is exact, so it is never longer than
+        // the pin-to-pin MST (which is a feasible Steiner tree).
+        prop_assume!(pins.len() >= 2 && pins.len() <= 4);
+        let t = SteinerTree::build(&pins);
+        // Exhaustive MST over pins (Prim on ≤4 nodes).
+        let n = pins.len();
+        let mut in_tree = vec![false; n];
+        in_tree[0] = true;
+        let mut mst = 0.0;
+        for _ in 1..n {
+            let mut best = (f64::INFINITY, 0usize);
+            for i in 0..n {
+                if in_tree[i] {
+                    continue;
+                }
+                for j in 0..n {
+                    if in_tree[j] {
+                        let d = pins[i].manhattan(pins[j]);
+                        if d < best.0 {
+                            best = (d, i);
+                        }
+                    }
+                }
+            }
+            in_tree[best.1] = true;
+            mst += best.0;
+        }
+        prop_assert!(t.wirelength() <= mst + 1e-9, "tree {} > mst {mst}", t.wirelength());
+    }
+}

@@ -1,0 +1,187 @@
+//! Binding of structural netlist classes to liberty library cells.
+//!
+//! The netlist (`dtp-netlist`) knows only cell footprints and pin names; the
+//! library (`dtp-liberty`) holds capacitances and timing arcs. The binding
+//! resolves, once, per class: the library cell, per-pin capacitances, and the
+//! delay/constraint arcs per output/data pin — so the per-iteration timing
+//! passes never do string lookups.
+
+use crate::error::StaError;
+use dtp_liberty::{Library, TimingArc};
+use dtp_netlist::{ClassId, Netlist, PinId};
+
+/// Per-class resolved binding data.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct ClassBinding {
+    /// Library cell index in the binding's arc arena, or `None` for port
+    /// pseudo-classes (which have no library view).
+    pub bound: bool,
+    /// Input capacitance per class pin (0 for outputs/ports).
+    pub pin_cap: Vec<f64>,
+    /// For each class pin: indices into `Binding::arcs` of delay arcs *ending*
+    /// at this (output) pin, each tagged with the class-pin index of its
+    /// source input pin.
+    pub delay_arcs: Vec<Vec<(usize, usize)>>, // (arc index, from class-pin)
+    /// For each class pin: index of the setup arc ending at this (data) pin.
+    pub setup_arc: Vec<Option<usize>>,
+    /// For each class pin: index of the hold arc ending at this (data) pin.
+    pub hold_arc: Vec<Option<usize>>,
+}
+
+/// Resolved netlist↔library binding.
+#[derive(Clone, Debug)]
+pub struct Binding {
+    pub(crate) classes: Vec<ClassBinding>,
+    pub(crate) arcs: Vec<TimingArc>,
+    /// Wire resistance per micron (from the library technology extension).
+    pub wire_res_per_um: f64,
+    /// Wire capacitance per micron.
+    pub wire_cap_per_um: f64,
+}
+
+impl Binding {
+    /// Resolves the binding for every class used in `nl`.
+    ///
+    /// Port pseudo-classes (`__PI__`/`__PO__`) and Bookshelf-imported private
+    /// classes (`__bs_*`) bind to nothing: zero caps, no arcs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::UnboundClass`] or [`StaError::UnboundPin`] if a
+    /// real class is missing from the library.
+    pub fn resolve(nl: &Netlist, lib: &Library) -> Result<Binding, StaError> {
+        let mut classes = Vec::with_capacity(nl.num_classes());
+        let mut arcs: Vec<TimingArc> = Vec::new();
+        for ci in 0..nl.num_classes() {
+            let class = nl.class(ClassId::new(ci));
+            let n_pins = class.pins().len();
+            if class.name().starts_with("__") {
+                classes.push(ClassBinding {
+                    bound: false,
+                    pin_cap: vec![0.0; n_pins],
+                    delay_arcs: vec![Vec::new(); n_pins],
+                    setup_arc: vec![None; n_pins],
+                    hold_arc: vec![None; n_pins],
+                });
+                continue;
+            }
+            let lib_cell = lib
+                .cell(class.name())
+                .ok_or_else(|| StaError::UnboundClass(class.name().to_owned()))?;
+            let mut cb = ClassBinding {
+                bound: true,
+                pin_cap: Vec::with_capacity(n_pins),
+                delay_arcs: vec![Vec::new(); n_pins],
+                setup_arc: vec![None; n_pins],
+                hold_arc: vec![None; n_pins],
+            };
+            for spec in class.pins() {
+                let lp = lib_cell.pin(&spec.name).ok_or_else(|| StaError::UnboundPin {
+                    class: class.name().to_owned(),
+                    pin: spec.name.clone(),
+                })?;
+                cb.pin_cap.push(lp.capacitance);
+            }
+            for arc in lib_cell.arcs() {
+                let to = class.find_pin(&arc.to).ok_or_else(|| StaError::UnboundPin {
+                    class: class.name().to_owned(),
+                    pin: arc.to.clone(),
+                })?;
+                let from = class.find_pin(&arc.from).ok_or_else(|| StaError::UnboundPin {
+                    class: class.name().to_owned(),
+                    pin: arc.from.clone(),
+                })?;
+                let idx = arcs.len();
+                arcs.push(arc.clone());
+                match arc.kind {
+                    dtp_liberty::ArcKind::Setup => cb.setup_arc[to.index()] = Some(idx),
+                    dtp_liberty::ArcKind::Hold => cb.hold_arc[to.index()] = Some(idx),
+                    _ => cb.delay_arcs[to.index()].push((idx, from.index())),
+                }
+            }
+            classes.push(cb);
+        }
+        Ok(Binding {
+            classes,
+            arcs,
+            wire_res_per_um: lib.wire_res_per_um,
+            wire_cap_per_um: lib.wire_cap_per_um,
+        })
+    }
+
+    /// Input capacitance of a pin instance (0 for outputs and ports).
+    #[inline]
+    pub fn pin_cap(&self, nl: &Netlist, pin: PinId) -> f64 {
+        let p = nl.pin(pin);
+        let class = nl.cell(p.cell()).class();
+        self.classes[class.index()].pin_cap[p.class_pin().index()]
+    }
+
+    /// The timing arc at `index` in the arc arena.
+    pub(crate) fn arc(&self, index: usize) -> &TimingArc {
+        &self.arcs[index]
+    }
+
+    /// Whether `class` has a library binding (false for port pseudo-classes).
+    pub fn class_is_bound(&self, class: ClassId) -> bool {
+        self.classes[class.index()].bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtp_liberty::synth::synthetic_pdk;
+    use dtp_netlist::generate::{generate, GeneratorConfig};
+
+    #[test]
+    fn resolves_generated_design() {
+        let d = generate(&GeneratorConfig::named("b", 120)).unwrap();
+        let lib = synthetic_pdk();
+        let b = Binding::resolve(&d.netlist, &lib).unwrap();
+        assert_eq!(b.classes.len(), d.netlist.num_classes());
+        assert!(b.wire_res_per_um > 0.0);
+        // Every connected sink pin of a bound class has positive capacitance.
+        let mut found_cap = false;
+        for p in d.netlist.pin_ids() {
+            let cap = b.pin_cap(&d.netlist, p);
+            if cap > 0.0 {
+                found_cap = true;
+            }
+            assert!(cap >= 0.0);
+        }
+        assert!(found_cap);
+    }
+
+    #[test]
+    fn missing_cell_is_error() {
+        let d = generate(&GeneratorConfig::named("b", 60)).unwrap();
+        let empty = Library::new("empty");
+        match Binding::resolve(&d.netlist, &empty) {
+            Err(StaError::UnboundClass(_)) => {}
+            other => panic!("expected UnboundClass, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arcs_indexed_by_output_pin() {
+        let d = generate(&GeneratorConfig::named("b", 60)).unwrap();
+        let lib = synthetic_pdk();
+        let b = Binding::resolve(&d.netlist, &lib).unwrap();
+        // A NAND2 class must have two delay arcs to its Y pin.
+        if let Some(cid) = d.netlist.find_class("NAND2_X1") {
+            let class = d.netlist.class(cid);
+            let y = class.find_pin("Y").unwrap();
+            assert_eq!(b.classes[cid.index()].delay_arcs[y.index()].len(), 2);
+        }
+        // A DFF class has a setup and hold arc on D and a delay arc on Q.
+        if let Some(cid) = d.netlist.find_class("DFF_X1") {
+            let class = d.netlist.class(cid);
+            let dd = class.find_pin("D").unwrap();
+            let q = class.find_pin("Q").unwrap();
+            assert!(b.classes[cid.index()].setup_arc[dd.index()].is_some());
+            assert!(b.classes[cid.index()].hold_arc[dd.index()].is_some());
+            assert_eq!(b.classes[cid.index()].delay_arcs[q.index()].len(), 1);
+        }
+    }
+}

@@ -1,0 +1,986 @@
+//! The timing engine: forward analysis and backward gradients (§3.3, Fig. 3).
+//!
+//! [`Timer`] is constructed once per design (binding + levelization +
+//! constraint resolution — stage 1 of Fig. 3, "only once"); each placement
+//! iteration then calls [`Timer::analyze`] / [`Timer::analyze_smoothed`] with
+//! the current Steiner forest (stages 2–4) and [`Timer::gradients`] for the
+//! backward sweep (stage 5).
+
+use crate::binding::Binding;
+use crate::elmore::{ElmoreNet, ElmoreSeeds};
+use crate::error::StaError;
+use crate::graph::{PinRole, TimingGraph};
+use crate::smoothing::{lse_max, lse_max_weights, lse_min_weights, smooth_neg, smooth_neg_grad};
+use dtp_liberty::Library;
+use dtp_netlist::{Design, NetId, Netlist, PinId};
+use dtp_rsmt::SteinerForest;
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// Wire delay metric computed from the Elmore moments (§3.4.2: the
+/// framework generalizes to "other more complex interconnect delay models,
+/// … as long as the model can be written in analytical form").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum WireModel {
+    /// First-moment (Elmore) delay — Eq. 7b.
+    #[default]
+    Elmore,
+    /// D2M two-moment delay metric: `ln2 · m1²/√m2`.
+    D2m,
+}
+
+/// Tunable parameters of the timing engine.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TimerConfig {
+    /// LSE smoothing parameter γ, in ps (the paper uses ≈ 100).
+    pub gamma: f64,
+    /// Which wire delay metric to derive from the Elmore moments.
+    pub wire_model: WireModel,
+    /// Slew of the ideal clock at register clock pins (ps).
+    pub clock_slew: f64,
+    /// Slew assumed at primary inputs (ps).
+    pub input_slew: f64,
+    /// Arrival time of the clock edge at registers (ps); 0 for an ideal
+    /// zero-insertion-delay clock network.
+    pub clock_arrival: f64,
+}
+
+impl Default for TimerConfig {
+    fn default() -> Self {
+        TimerConfig {
+            gamma: 100.0,
+            wire_model: WireModel::default(),
+            clock_slew: 20.0,
+            input_slew: 10.0,
+            clock_arrival: 0.0,
+        }
+    }
+}
+
+/// The differentiable STA engine bound to one design + library.
+#[derive(Clone, Debug)]
+pub struct Timer {
+    binding: Binding,
+    graph: TimingGraph,
+    config: TimerConfig,
+    clock_period: f64,
+    /// Per-pin index of the pin within its net's pin list (tree node index).
+    pin_node_in_net: Vec<u32>,
+    /// Per-net pin capacitances in net pin order (empty for clock nets).
+    net_pin_caps: Vec<Vec<f64>>,
+    /// Resolved SDC arrival offset per pin (PI pins only, else 0).
+    input_delay: Vec<f64>,
+    /// Resolved SDC required margin per pin (PO pins only, else 0).
+    output_margin: Vec<f64>,
+}
+
+/// The result of one timing analysis: arrival times, slews, slacks and the
+/// per-net Elmore state needed for the backward pass.
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    /// Late (worst-case) arrival time per pin, ps.
+    pub at: Vec<f64>,
+    /// Early (best-case) arrival time per pin, ps.
+    pub at_early: Vec<f64>,
+    /// Propagated (worst-case) slew per pin, ps.
+    pub slew: Vec<f64>,
+    /// Setup slack per pin (`f64::INFINITY` for non-endpoints), ps.
+    pub slack: Vec<f64>,
+    /// Hold slack per pin (`f64::INFINITY` where unconstrained), ps.
+    pub hold_slack: Vec<f64>,
+    /// Required arrival time per pin (late/setup view), propagated backward
+    /// from the endpoints; `f64::INFINITY` on cones that reach no endpoint.
+    pub rat: Vec<f64>,
+    /// γ used for max-smoothing in this analysis; 0 means exact (hard max).
+    pub gamma: f64,
+    /// Per-net Elmore state, shared (`Arc`) so incremental analyses reuse
+    /// clean nets without copying.
+    elmore: Vec<Option<Arc<ElmoreNet>>>,
+    endpoints: Vec<PinId>,
+}
+
+impl Analysis {
+    /// Worst negative slack: the minimum setup slack over endpoints (Eq. 2).
+    /// Positive if all constraints are met.
+    pub fn wns(&self) -> f64 {
+        self.endpoints
+            .iter()
+            .map(|&p| self.slack[p.index()])
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Total negative slack: `Σ min(0, slack)` over endpoints (Eq. 2).
+    pub fn tns(&self) -> f64 {
+        self.endpoints
+            .iter()
+            .map(|&p| self.slack[p.index()].min(0.0))
+            .sum()
+    }
+
+    /// Worst hold slack over endpoints.
+    pub fn wns_hold(&self) -> f64 {
+        self.endpoints
+            .iter()
+            .map(|&p| self.hold_slack[p.index()])
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Total negative hold slack over endpoints.
+    pub fn tns_hold(&self) -> f64 {
+        self.endpoints
+            .iter()
+            .map(|&p| self.hold_slack[p.index()].min(0.0))
+            .filter(|s| s.is_finite())
+            .sum()
+    }
+
+    /// Smoothed TNS (`Σ smooth_min(0, slack)`) at smoothing `gamma`.
+    pub fn tns_smooth(&self, gamma: f64) -> f64 {
+        self.endpoints
+            .iter()
+            .map(|&p| smooth_neg(self.slack[p.index()], gamma))
+            .sum()
+    }
+
+    /// Smoothed WNS (LSE-min over endpoint slacks) at smoothing `gamma`.
+    pub fn wns_smooth(&self, gamma: f64) -> f64 {
+        let slacks: Vec<f64> = self.endpoints.iter().map(|&p| self.slack[p.index()]).collect();
+        if slacks.is_empty() {
+            return 0.0;
+        }
+        crate::smoothing::lse_min(&slacks, gamma)
+    }
+
+    /// Capture endpoints of the design.
+    pub fn endpoints(&self) -> &[PinId] {
+        &self.endpoints
+    }
+
+    /// Slack of an arbitrary pin (`RAT − AT`); `f64::INFINITY` for pins whose
+    /// fan-out cone reaches no endpoint.
+    pub fn pin_slack(&self, pin: PinId) -> f64 {
+        let i = pin.index();
+        if self.rat[i].is_finite() {
+            self.rat[i] - self.at[i]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// The Elmore state of a net (None for clock nets).
+    pub fn elmore(&self, net: NetId) -> Option<&ElmoreNet> {
+        self.elmore[net.index()].as_deref()
+    }
+}
+
+/// Gradients of the timing objective with respect to positions.
+#[derive(Clone, Debug)]
+pub struct PositionGradients {
+    /// ∂f/∂x per pin.
+    pub pin_grad_x: Vec<f64>,
+    /// ∂f/∂y per pin.
+    pub pin_grad_y: Vec<f64>,
+    /// ∂f/∂x per cell (sum over the cell's pins).
+    pub cell_grad_x: Vec<f64>,
+    /// ∂f/∂y per cell.
+    pub cell_grad_y: Vec<f64>,
+    /// The smoothed objective value `−t1·TNSγ − t2·WNSγ` (to be minimized).
+    pub objective: f64,
+}
+
+impl Timer {
+    /// Builds the engine: resolves the library binding, levelizes the timing
+    /// graph and resolves SDC constraints to pins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError`] for unbound classes/pins or combinational cycles.
+    pub fn new(design: &Design, lib: &Library) -> Result<Timer, StaError> {
+        Timer::with_config(design, lib, TimerConfig::default())
+    }
+
+    /// [`Timer::new`] with explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Timer::new`].
+    pub fn with_config(
+        design: &Design,
+        lib: &Library,
+        config: TimerConfig,
+    ) -> Result<Timer, StaError> {
+        let nl = &design.netlist;
+        let binding = Binding::resolve(nl, lib)?;
+        let graph = TimingGraph::build(nl, &binding)?;
+
+        let mut pin_node_in_net = vec![0u32; nl.num_pins()];
+        for net in nl.net_ids() {
+            for (i, &p) in nl.net(net).pins().iter().enumerate() {
+                pin_node_in_net[p.index()] = i as u32;
+            }
+        }
+        let net_pin_caps: Vec<Vec<f64>> = nl
+            .net_ids()
+            .map(|net| {
+                if nl.net(net).is_clock() {
+                    Vec::new()
+                } else {
+                    nl.net(net)
+                        .pins()
+                        .iter()
+                        .map(|&p| binding.pin_cap(nl, p))
+                        .collect()
+                }
+            })
+            .collect();
+
+        let mut input_delay = vec![0.0; nl.num_pins()];
+        let mut output_margin = vec![0.0; nl.num_pins()];
+        for p in nl.pin_ids() {
+            match graph.role(p) {
+                PinRole::PrimaryInput => {
+                    let name = nl.cell(nl.pin(p).cell()).name().to_owned();
+                    input_delay[p.index()] = design.constraints.input_delay(&name);
+                }
+                PinRole::PrimaryOutput => {
+                    let name = nl.cell(nl.pin(p).cell()).name().to_owned();
+                    output_margin[p.index()] = design.constraints.output_delay(&name);
+                }
+                _ => {}
+            }
+        }
+
+        Ok(Timer {
+            binding,
+            graph,
+            config,
+            clock_period: design.constraints.clock_period,
+            pin_node_in_net,
+            net_pin_caps,
+            input_delay,
+            output_margin,
+        })
+    }
+
+    /// The levelized timing graph.
+    pub fn graph(&self) -> &TimingGraph {
+        &self.graph
+    }
+
+    /// The netlist↔library binding.
+    pub fn binding(&self) -> &Binding {
+        &self.binding
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> TimerConfig {
+        self.config
+    }
+
+    /// Clock period the analysis checks against, ps.
+    pub fn clock_period(&self) -> f64 {
+        self.clock_period
+    }
+
+    /// Exact analysis: true max/min aggregation; use for reporting WNS/TNS.
+    ///
+    /// `nl` must be the same netlist (topology) the timer was built from;
+    /// only its connectivity is read — pin positions are baked into `forest`.
+    pub fn analyze(&self, nl: &Netlist, forest: &SteinerForest) -> Analysis {
+        self.run_forward(nl, forest, 0.0)
+    }
+
+    /// Smoothed analysis: LSE aggregation at the configured γ; feed this to
+    /// [`Timer::gradients`].
+    pub fn analyze_smoothed(&self, nl: &Netlist, forest: &SteinerForest) -> Analysis {
+        self.run_forward(nl, forest, self.config.gamma)
+    }
+
+    /// Elmore forward over all nets (stage 2 of Fig. 3), rayon-parallel.
+    fn run_elmore(&self, forest: &SteinerForest) -> Vec<Option<Arc<ElmoreNet>>> {
+        let nets: Vec<usize> = (0..forest.len()).collect();
+        nets.par_iter()
+            .map(|&ni| {
+                let net = NetId::new(ni);
+                forest.tree(net).map(|tree| {
+                    Arc::new(ElmoreNet::forward(
+                        tree,
+                        &self.net_pin_caps[ni],
+                        self.binding.wire_res_per_um,
+                        self.binding.wire_cap_per_um,
+                    ))
+                })
+            })
+            .collect()
+    }
+
+    /// Needed by `analyze*`: the netlist is implicit in the forest (pin
+    /// positions were baked into the trees), but arc lookups still need the
+    /// structural netlist; the caller guarantees it matches the one used at
+    /// construction.
+    fn run_forward(&self, nl: &Netlist, forest: &SteinerForest, gamma: f64) -> Analysis {
+        let nl_pins = self.pin_node_in_net.len();
+        let elmore = self.run_elmore(forest);
+        let mut at = vec![0.0f64; nl_pins];
+        let mut at_early = vec![0.0f64; nl_pins];
+        let mut slew = vec![self.config.input_slew; nl_pins];
+
+        // This borrow-free closure set mirrors the GPU kernels: every level is
+        // a batch whose pins read only lower levels.
+        for level in self.graph.levels() {
+            let results: Vec<(usize, f64, f64, f64)> = level
+                .par_iter()
+                .map(|&p| {
+                    let (a, ae, s) = self.eval_pin(nl, p, &elmore, &at, &at_early, &slew, gamma);
+                    (p.index(), a, ae, s)
+                })
+                .collect();
+            for (i, a, ae, s) in results {
+                at[i] = a;
+                at_early[i] = ae;
+                slew[i] = s;
+            }
+        }
+
+        let (slack, hold_slack) = self.compute_slacks(nl, &at, &at_early, &slew);
+        let rat = self.compute_rat(nl, &elmore, &at, &slew, &slack);
+
+        Analysis {
+            at,
+            at_early,
+            slew,
+            slack,
+            hold_slack,
+            rat,
+            gamma,
+            elmore,
+            endpoints: self.graph.endpoints().to_vec(),
+        }
+    }
+
+    /// Setup/hold slack computation at the endpoints (stage 4 of Fig. 3).
+    fn compute_slacks(
+        &self,
+        nl: &Netlist,
+        at: &[f64],
+        at_early: &[f64],
+        slew: &[f64],
+    ) -> (Vec<f64>, Vec<f64>) {
+        let nl_pins = at.len();
+        let mut slack = vec![f64::INFINITY; nl_pins];
+        let mut hold_slack = vec![f64::INFINITY; nl_pins];
+        for &p in self.graph.endpoints() {
+            let i = p.index();
+            match self.graph.role(p) {
+                PinRole::RegisterData => {
+                    let pin = nl.pin(p);
+                    let cb = &self.binding.classes[nl.cell(pin.cell()).class().index()];
+                    let setup = cb.setup_arc[pin.class_pin().index()]
+                        .map(|a| self.binding.arc(a).constraint_value(slew[i]))
+                        .unwrap_or(0.0);
+                    let hold = cb.hold_arc[pin.class_pin().index()]
+                        .map(|a| self.binding.arc(a).constraint_value(slew[i]))
+                        .unwrap_or(0.0);
+                    let rat = self.config.clock_arrival + self.clock_period - setup;
+                    slack[i] = rat - at[i];
+                    hold_slack[i] = at_early[i] - (self.config.clock_arrival + hold);
+                }
+                PinRole::PrimaryOutput => {
+                    let rat = self.clock_period - self.output_margin[i];
+                    slack[i] = rat - at[i];
+                }
+                _ => unreachable!("endpoints are register data pins or POs"),
+            }
+        }
+        (slack, hold_slack)
+    }
+
+    /// Backward RAT propagation (min over fanout requirements), exact arc
+    /// delays; gives every pin a slack = RAT − AT for reporting and for
+    /// net-criticality-based weighting.
+    fn compute_rat(
+        &self,
+        nl: &Netlist,
+        elmore: &[Option<Arc<ElmoreNet>>],
+        at: &[f64],
+        slew: &[f64],
+        slack: &[f64],
+    ) -> Vec<f64> {
+        let nl_pins = at.len();
+        let mut rat = vec![f64::INFINITY; nl_pins];
+        for &p in self.graph.endpoints() {
+            rat[p.index()] = at[p.index()] + slack[p.index()];
+        }
+        for level in self.graph.levels().iter().rev() {
+            for &p in level {
+                let i = p.index();
+                if !rat[i].is_finite() {
+                    continue;
+                }
+                match self.graph.role(p) {
+                    PinRole::CombInput | PinRole::RegisterData | PinRole::PrimaryOutput => {
+                        let net = nl.pin(p).net().expect("active sinks are connected");
+                        if let Some(e) = elmore[net.index()].as_ref() {
+                            let driver = nl.net(net).pins()[0];
+                            let node = self.pin_node_in_net[i] as usize;
+                            let d = match self.config.wire_model {
+                                WireModel::Elmore => e.delay_at(node),
+                                WireModel::D2m => e.delay_d2m_at(node),
+                            };
+                            let cand = rat[i] - d;
+                            if cand < rat[driver.index()] {
+                                rat[driver.index()] = cand;
+                            }
+                        }
+                    }
+                    PinRole::CombOutput => {
+                        let pin = nl.pin(p);
+                        let cell = nl.cell(pin.cell());
+                        let cb = &self.binding.classes[cell.class().index()];
+                        let load = pin
+                            .net()
+                            .and_then(|n| elmore[n.index()].as_ref())
+                            .map_or(0.0, |e| e.root_load());
+                        for &(arc_idx, from_cp) in &cb.delay_arcs[pin.class_pin().index()] {
+                            let from = cell.pins()[from_cp];
+                            if matches!(
+                                self.graph.role(from),
+                                PinRole::Unconnected | PinRole::Clock
+                            ) {
+                                continue;
+                            }
+                            let ev =
+                                self.binding.arc(arc_idx).eval(slew[from.index()], load);
+                            let cand = rat[i] - ev.delay;
+                            if cand < rat[from.index()] {
+                                rat[from.index()] = cand;
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        rat
+    }
+
+    /// Incremental re-analysis after moving a set of cells (the workload of
+    /// the ICCAD-2015 *incremental* timing-driven placement contest the
+    /// paper's benchmarks come from).
+    ///
+    /// Only the Elmore state of nets incident to `moved` cells is recomputed,
+    /// and only pins in the transitive fan-out of those nets are
+    /// re-propagated; everything else is copied from `prev`. Slacks and the
+    /// full RAT sweep are recomputed (they are cheap relative to the forward
+    /// arc evaluations). The result is bit-identical to a fresh
+    /// [`Timer::analyze`] / [`Timer::analyze_smoothed`] at the same γ.
+    ///
+    /// `forest` must already reflect the new pin positions
+    /// (e.g. via [`SteinerForest::update_positions`]); `prev` must come from
+    /// the same γ mode.
+    ///
+    /// `recompute_rat = false` skips the backward RAT sweep and carries
+    /// `prev`'s RATs over: WNS/TNS/slacks stay exact, but
+    /// [`Analysis::pin_slack`] on non-endpoint pins reflects the *previous*
+    /// state — the right trade for trial-move loops that only compare
+    /// WNS/TNS.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prev` was produced for a different netlist (length
+    /// mismatch).
+    pub fn analyze_incremental(
+        &self,
+        nl: &Netlist,
+        forest: &SteinerForest,
+        prev: &Analysis,
+        moved: &[dtp_netlist::CellId],
+        recompute_rat: bool,
+    ) -> Analysis {
+        let nl_pins = self.pin_node_in_net.len();
+        assert_eq!(prev.at.len(), nl_pins, "analysis from a different netlist");
+        let gamma = prev.gamma;
+
+        // 1. Dirty nets: every non-clock net touching a moved cell.
+        let mut net_dirty = vec![false; forest.len()];
+        for &c in moved {
+            for &p in nl.cell(c).pins() {
+                if let Some(net) = nl.pin(p).net() {
+                    if !nl.net(net).is_clock() {
+                        net_dirty[net.index()] = true;
+                    }
+                }
+            }
+        }
+
+        // 2. Elmore: recompute dirty nets, share (Arc) the rest.
+        let elmore: Vec<Option<Arc<ElmoreNet>>> = (0..forest.len())
+            .map(|ni| {
+                if net_dirty[ni] {
+                    forest.tree(NetId::new(ni)).map(|tree| {
+                        Arc::new(ElmoreNet::forward(
+                            tree,
+                            &self.net_pin_caps[ni],
+                            self.binding.wire_res_per_um,
+                            self.binding.wire_cap_per_um,
+                        ))
+                    })
+                } else {
+                    prev.elmore[ni].clone()
+                }
+            })
+            .collect();
+
+        // 3. Seed dirty pins: drivers (their load changed) and sinks (their
+        //    net delay changed) of dirty nets.
+        let mut dirty = vec![false; nl_pins];
+        for ni in 0..forest.len() {
+            if !net_dirty[ni] {
+                continue;
+            }
+            for &p in nl.net(NetId::new(ni)).pins() {
+                dirty[p.index()] = true;
+            }
+        }
+
+        // 4. Forward sweep: re-evaluate a pin iff it is seeded or any of its
+        //    fan-ins is dirty; otherwise copy from `prev`.
+        let mut at = prev.at.clone();
+        let mut at_early = prev.at_early.clone();
+        let mut slew = prev.slew.clone();
+        for level in self.graph.levels() {
+            // Mark propagated dirtiness first (cheap pass, no arc evals).
+            let newly: Vec<usize> = level
+                .iter()
+                .filter_map(|&p| {
+                    let i = p.index();
+                    if dirty[i] {
+                        return Some(i);
+                    }
+                    let pred_dirty = match self.graph.role(p) {
+                        PinRole::CombInput | PinRole::RegisterData | PinRole::PrimaryOutput => {
+                            let net = nl.pin(p).net().expect("active sinks are connected");
+                            dirty[nl.net(net).pins()[0].index()]
+                        }
+                        PinRole::CombOutput => {
+                            let pin = nl.pin(p);
+                            let cell = nl.cell(pin.cell());
+                            let cb = &self.binding.classes[cell.class().index()];
+                            cb.delay_arcs[pin.class_pin().index()]
+                                .iter()
+                                .any(|&(_, from_cp)| dirty[cell.pins()[from_cp].index()])
+                        }
+                        _ => false,
+                    };
+                    pred_dirty.then_some(i)
+                })
+                .collect();
+            for i in &newly {
+                dirty[*i] = true;
+            }
+            let results: Vec<(usize, f64, f64, f64)> = level
+                .par_iter()
+                .filter(|p| dirty[p.index()])
+                .map(|&p| {
+                    let (a, ae, s) = self.eval_pin(nl, p, &elmore, &at, &at_early, &slew, gamma);
+                    (p.index(), a, ae, s)
+                })
+                .collect();
+            for (i, a, ae, s) in results {
+                at[i] = a;
+                at_early[i] = ae;
+                slew[i] = s;
+            }
+        }
+
+        let (slack, hold_slack) = self.compute_slacks(nl, &at, &at_early, &slew);
+        let rat = if recompute_rat {
+            self.compute_rat(nl, &elmore, &at, &slew, &slack)
+        } else {
+            prev.rat.clone()
+        };
+        Analysis {
+            at,
+            at_early,
+            slew,
+            slack,
+            hold_slack,
+            rat,
+            gamma,
+            elmore,
+            endpoints: self.graph.endpoints().to_vec(),
+        }
+    }
+
+    /// Forward evaluation of one pin given completed lower levels.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_pin(
+        &self,
+        nl: &Netlist,
+        p: PinId,
+        elmore: &[Option<Arc<ElmoreNet>>],
+        at: &[f64],
+        at_early: &[f64],
+        slew: &[f64],
+        gamma: f64,
+    ) -> (f64, f64, f64) {
+        match self.graph.role(p) {
+            PinRole::PrimaryInput => {
+                let d = self.input_delay[p.index()];
+                (d, d, self.config.input_slew)
+            }
+            PinRole::RegisterOutput => {
+                // Launch: CK → Q arc at the ideal clock edge (Eq. 11 with the
+                // clock pin as the only input).
+                let pin = nl.pin(p);
+                let cell = nl.cell(pin.cell());
+                let cb = &self.binding.classes[cell.class().index()];
+                let load = pin
+                    .net()
+                    .and_then(|n| elmore[n.index()].as_ref())
+                    .map_or(0.0, |e| e.root_load());
+                let arcs = &cb.delay_arcs[pin.class_pin().index()];
+                if arcs.is_empty() {
+                    return (self.config.clock_arrival, self.config.clock_arrival, self.config.input_slew);
+                }
+                let mut a_vals = Vec::with_capacity(arcs.len());
+                let mut s_vals = Vec::with_capacity(arcs.len());
+                for &(arc_idx, _) in arcs {
+                    let e = self.binding.arc(arc_idx).eval(self.config.clock_slew, load);
+                    a_vals.push(self.config.clock_arrival + e.delay);
+                    s_vals.push(e.slew);
+                }
+                let (a, s) = aggregate(&a_vals, &s_vals, gamma);
+                let ae = a_vals.iter().cloned().fold(f64::INFINITY, f64::min);
+                (a, ae, s)
+            }
+            PinRole::CombInput | PinRole::RegisterData | PinRole::PrimaryOutput => {
+                // Net arc from the driver (Eq. 9).
+                let net = nl.pin(p).net().expect("active sink pins are connected");
+                let Some(e) = elmore[net.index()].as_ref() else {
+                    return (0.0, 0.0, self.config.input_slew);
+                };
+                let driver = nl.net(net).pins()[0];
+                let node = self.pin_node_in_net[p.index()] as usize;
+                let d = match self.config.wire_model {
+                    WireModel::Elmore => e.delay_at(node),
+                    WireModel::D2m => e.delay_d2m_at(node),
+                };
+                let s_in = slew[driver.index()];
+                let s = (s_in * s_in + e.impulse_sq_at(node)).sqrt().max(1e-3);
+                (at[driver.index()] + d, at_early[driver.index()] + d, s)
+            }
+            PinRole::CombOutput => {
+                // Cell arcs (Eq. 11).
+                let pin = nl.pin(p);
+                let cell = nl.cell(pin.cell());
+                let cb = &self.binding.classes[cell.class().index()];
+                let load = pin
+                    .net()
+                    .and_then(|n| elmore[n.index()].as_ref())
+                    .map_or(0.0, |e| e.root_load());
+                let mut a_vals = Vec::new();
+                let mut ae_vals = Vec::new();
+                let mut s_vals = Vec::new();
+                for &(arc_idx, from_cp) in &cb.delay_arcs[pin.class_pin().index()] {
+                    let from = cell.pins()[from_cp];
+                    if matches!(self.graph.role(from), PinRole::Unconnected | PinRole::Clock) {
+                        continue;
+                    }
+                    let e = self.binding.arc(arc_idx).eval(slew[from.index()], load);
+                    a_vals.push(at[from.index()] + e.delay);
+                    ae_vals.push(at_early[from.index()] + e.delay);
+                    s_vals.push(e.slew);
+                }
+                if a_vals.is_empty() {
+                    return (0.0, 0.0, self.config.input_slew);
+                }
+                let (a, s) = aggregate(&a_vals, &s_vals, gamma);
+                let ae = ae_vals.iter().cloned().fold(f64::INFINITY, f64::min);
+                (a, ae, s)
+            }
+            PinRole::Clock | PinRole::Unconnected => (0.0, 0.0, self.config.input_slew),
+        }
+    }
+
+    /// Backward sweep (stage 5 of Fig. 3): gradient of
+    /// `f = −t1·TNSγ − t2·WNSγ` with respect to all pin/cell positions.
+    ///
+    /// `analysis` should come from [`Timer::analyze_smoothed`] (with an exact
+    /// analysis the LSE weights degenerate to hard argmax subgradients,
+    /// which is mathematically valid but reintroduces the oscillation the
+    /// paper's smoothing removes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the forest does not match the analysis (different net
+    /// count).
+    pub fn gradients(
+        &self,
+        nl: &Netlist,
+        analysis: &Analysis,
+        forest: &SteinerForest,
+        t1: f64,
+        t2: f64,
+    ) -> PositionGradients {
+        let n_pins = analysis.at.len();
+        assert_eq!(forest.len(), analysis.elmore.len(), "forest/analysis mismatch");
+        let gamma = if analysis.gamma > 0.0 { analysis.gamma } else { self.config.gamma };
+
+        // --- endpoint seeds ---------------------------------------------------
+        let slacks: Vec<f64> = analysis
+            .endpoints
+            .iter()
+            .map(|&p| analysis.slack[p.index()])
+            .collect();
+        let objective;
+        let mut g_at = vec![0.0f64; n_pins];
+        let mut g_slew = vec![0.0f64; n_pins];
+        if slacks.is_empty() {
+            objective = 0.0;
+        } else {
+            let tns_g = slacks.iter().map(|&s| smooth_neg(s, gamma)).sum::<f64>();
+            let (wns_g, wns_w) = lse_min_weights(&slacks, gamma);
+            objective = -t1 * tns_g - t2 * wns_g;
+            for (k, &p) in analysis.endpoints.iter().enumerate() {
+                let i = p.index();
+                let dslack = -t1 * smooth_neg_grad(slacks[k], gamma) - t2 * wns_w[k];
+                // slack = rat − at  ⇒  ∂f/∂at = −∂f/∂slack.
+                g_at[i] += -dslack;
+                // Register setup margin depends on the data slew:
+                // slack = … − setup(slew) − at.
+                if self.graph.role(p) == PinRole::RegisterData {
+                    let pin = nl.pin(p);
+                    let cb = &self.binding.classes[nl.cell(pin.cell()).class().index()];
+                    if let Some(arc_idx) = cb.setup_arc[pin.class_pin().index()] {
+                        if let Some(t) = &self.binding.arc(arc_idx).constraint {
+                            let dsetup = t.value_grad(analysis.slew[i]).1;
+                            g_slew[i] += dslack * (-dsetup);
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- reverse level sweep (Eqs. 10, 12) --------------------------------
+        let mut seeds: Vec<Option<ElmoreSeeds>> = (0..forest.len())
+            .map(|ni| {
+                forest
+                    .tree(NetId::new(ni))
+                    .map(|t| ElmoreSeeds::zeros(t.num_nodes()))
+            })
+            .collect();
+
+        for level in self.graph.levels().iter().rev() {
+            for &p in level {
+                let i = p.index();
+                if g_at[i] == 0.0 && g_slew[i] == 0.0 {
+                    continue;
+                }
+                match self.graph.role(p) {
+                    PinRole::CombInput | PinRole::RegisterData | PinRole::PrimaryOutput => {
+                        // Net arc backward (Eq. 10).
+                        let net = nl.pin(p).net().expect("active sinks are connected");
+                        let Some(e) = analysis.elmore[net.index()].as_ref() else { continue };
+                        let driver = nl.net(net).pins()[0];
+                        let node = self.pin_node_in_net[i] as usize;
+                        g_at[driver.index()] += g_at[i];
+                        let s_v = analysis.slew[i];
+                        let s_u = analysis.slew[driver.index()];
+                        if s_v > 0.0 && e.impulse_sq_at(node) > 0.0 {
+                            g_slew[driver.index()] += (s_u / s_v) * g_slew[i];
+                        } else {
+                            // Degenerate slew merge: all gradient to the driver.
+                            g_slew[driver.index()] += g_slew[i];
+                        }
+                        let sd = seeds[net.index()].as_mut().expect("seeded with the tree");
+                        match self.config.wire_model {
+                            WireModel::Elmore => sd.grad_delay[node] += g_at[i],
+                            WireModel::D2m => {
+                                let (d_dm1, d_dbeta) = e.d2m_partials(node);
+                                sd.grad_delay[node] += g_at[i] * d_dm1;
+                                sd.grad_beta[node] += g_at[i] * d_dbeta;
+                            }
+                        }
+                        if s_v > 0.0 {
+                            sd.grad_impulse_sq[node] += g_slew[i] / (2.0 * s_v);
+                        }
+                    }
+                    PinRole::CombOutput => {
+                        self.backprop_cell_output(
+                            nl, p, analysis, gamma, &mut g_at, &mut g_slew, &mut seeds,
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Register launch pins: AT(Q) depends on the Q net's load (Eq. 12e
+        // applied to the CK→Q arc).
+        for p in nl.pin_ids() {
+            if self.graph.role(p) != PinRole::RegisterOutput {
+                continue;
+            }
+            let i = p.index();
+            if g_at[i] == 0.0 && g_slew[i] == 0.0 {
+                continue;
+            }
+            let pin = nl.pin(p);
+            let cell = nl.cell(pin.cell());
+            let cb = &self.binding.classes[cell.class().index()];
+            let Some(net) = pin.net() else { continue };
+            let Some(e) = analysis.elmore[net.index()].as_ref() else { continue };
+            let load = e.root_load();
+            let arcs = &cb.delay_arcs[pin.class_pin().index()];
+            if arcs.is_empty() {
+                continue;
+            }
+            // Weights over the (usually single) CK→Q arcs.
+            let evals: Vec<_> = arcs
+                .iter()
+                .map(|&(a, _)| self.binding.arc(a).eval(self.config.clock_slew, load))
+                .collect();
+            let a_vals: Vec<f64> =
+                evals.iter().map(|e| self.config.clock_arrival + e.delay).collect();
+            let s_vals: Vec<f64> = evals.iter().map(|e| e.slew).collect();
+            let wa = weights_of(&a_vals, gamma);
+            let ws = weights_of(&s_vals, gamma);
+            let mut g_load = 0.0;
+            for (k, ev) in evals.iter().enumerate() {
+                g_load += ev.d_delay_d_load * wa[k] * g_at[i];
+                g_load += ev.d_slew_d_load * ws[k] * g_slew[i];
+            }
+            seeds[net.index()]
+                .as_mut()
+                .expect("register output nets are signal nets")
+                .grad_root_load += g_load;
+        }
+
+        // --- Elmore backward per net (Eq. 8), rayon-parallel -------------------
+        let per_net: Vec<(usize, Vec<(f64, f64)>)> = (0..forest.len())
+            .into_par_iter()
+            .filter_map(|ni| {
+                let tree = forest.tree(NetId::new(ni))?;
+                let e = analysis.elmore[ni].as_ref()?;
+                let sd = seeds[ni].as_ref()?;
+                let nonzero = sd.grad_root_load != 0.0
+                    || sd.grad_delay.iter().any(|&g| g != 0.0)
+                    || sd.grad_beta.iter().any(|&g| g != 0.0)
+                    || sd.grad_impulse_sq.iter().any(|&g| g != 0.0);
+                if !nonzero {
+                    return None;
+                }
+                let (gx, gy) = e.backward(tree, sd);
+                Some((ni, tree.scatter_gradient(&gx, &gy)))
+            })
+            .collect();
+
+        let mut pin_grad_x = vec![0.0f64; n_pins];
+        let mut pin_grad_y = vec![0.0f64; n_pins];
+        for (ni, per_pin) in per_net {
+            let pins = nl.net(NetId::new(ni)).pins();
+            for (k, &(gx, gy)) in per_pin.iter().enumerate() {
+                pin_grad_x[pins[k].index()] += gx;
+                pin_grad_y[pins[k].index()] += gy;
+            }
+        }
+
+        let mut cell_grad_x = vec![0.0f64; nl.num_cells()];
+        let mut cell_grad_y = vec![0.0f64; nl.num_cells()];
+        for p in nl.pin_ids() {
+            let c = nl.pin(p).cell().index();
+            cell_grad_x[c] += pin_grad_x[p.index()];
+            cell_grad_y[c] += pin_grad_y[p.index()];
+        }
+
+        PositionGradients { pin_grad_x, pin_grad_y, cell_grad_x, cell_grad_y, objective }
+    }
+
+    /// Eq. (12): distributes a combinational output pin's gradient to its
+    /// fan-in pins and to the load of its own net.
+    #[allow(clippy::too_many_arguments)]
+    fn backprop_cell_output(
+        &self,
+        nl: &Netlist,
+        p: PinId,
+        analysis: &Analysis,
+        gamma: f64,
+        g_at: &mut [f64],
+        g_slew: &mut [f64],
+        seeds: &mut [Option<ElmoreSeeds>],
+    ) {
+        let i = p.index();
+        let pin = nl.pin(p);
+        let cell = nl.cell(pin.cell());
+        let cb = &self.binding.classes[cell.class().index()];
+        let net = pin.net();
+        let load = net
+            .and_then(|n| analysis.elmore[n.index()].as_ref())
+            .map_or(0.0, |e| e.root_load());
+        let mut inputs = Vec::new();
+        for &(arc_idx, from_cp) in &cb.delay_arcs[pin.class_pin().index()] {
+            let from = cell.pins()[from_cp];
+            if matches!(self.graph.role(from), PinRole::Unconnected | PinRole::Clock) {
+                continue;
+            }
+            let ev = self.binding.arc(arc_idx).eval(analysis.slew[from.index()], load);
+            inputs.push((from, ev));
+        }
+        if inputs.is_empty() {
+            return;
+        }
+        let a_vals: Vec<f64> = inputs
+            .iter()
+            .map(|(from, ev)| analysis.at[from.index()] + ev.delay)
+            .collect();
+        let s_vals: Vec<f64> = inputs.iter().map(|(_, ev)| ev.slew).collect();
+        let wa = weights_of(&a_vals, gamma);
+        let ws = weights_of(&s_vals, gamma);
+        let mut g_load = 0.0;
+        for (k, (from, ev)) in inputs.iter().enumerate() {
+            let g_delay_k = wa[k] * g_at[i]; // Eq. 12b
+            let g_slew_k = ws[k] * g_slew[i]; // Eq. 12c
+            g_at[from.index()] += wa[k] * g_at[i]; // Eq. 12a
+            g_slew[from.index()] +=
+                ev.d_delay_d_slew * g_delay_k + ev.d_slew_d_slew * g_slew_k; // Eq. 12d
+            g_load += ev.d_delay_d_load * g_delay_k + ev.d_slew_d_load * g_slew_k;
+            // Eq. 12e
+        }
+        if let Some(n) = net {
+            if let Some(sd) = seeds[n.index()].as_mut() {
+                sd.grad_root_load += g_load;
+            }
+        }
+    }
+
+}
+
+/// LSE softmax weights, or hard one-hot argmax weights when `gamma == 0`
+/// (the exact-mode subgradient).
+fn weights_of(vals: &[f64], gamma: f64) -> Vec<f64> {
+    if gamma > 0.0 {
+        lse_max_weights(vals, gamma).1
+    } else {
+        let mut w = vec![0.0; vals.len()];
+        let mut best = 0usize;
+        for (i, &v) in vals.iter().enumerate() {
+            if v > vals[best] {
+                best = i;
+            }
+        }
+        w[best] = 1.0;
+        w
+    }
+}
+
+/// Aggregates arrival candidates and slews with smoothed or hard max.
+fn aggregate(a_vals: &[f64], s_vals: &[f64], gamma: f64) -> (f64, f64) {
+    if gamma > 0.0 {
+        (lse_max(a_vals, gamma), lse_max(s_vals, gamma))
+    } else {
+        (
+            a_vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            s_vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        )
+    }
+}

@@ -1,0 +1,59 @@
+//! Differentiable static timing analysis (the paper's §3).
+//!
+//! This crate implements both halves of the paper's central idea:
+//!
+//! - **Forward** (an STA engine, §2.1): Steiner-tree-based Elmore wire delay
+//!   (Eq. 7), NLDM cell delay via LUTs (Eq. 11), level-by-level arrival-time
+//!   and slew propagation (Eq. 9), required times, slacks, WNS and TNS
+//!   (Eqs. 1–2) — with an *exact* mode (true min/max, used for reporting) and
+//!   a *smoothed* mode (Log-Sum-Exp, Eq. 5, used for optimization).
+//! - **Backward** (the differentiable timer, §3.3–3.5): gradients of the
+//!   smoothed TNS/WNS objective with respect to every pin position, obtained
+//!   by running the propagation in reverse level order (Eqs. 10, 12) and four
+//!   reverse dynamic-programming passes per net for the Elmore model (Eq. 8,
+//!   Fig. 5), then scattering Steiner-point gradients to pins (Fig. 4).
+//!
+//! Parallelism: every level and every net is processed with rayon, mirroring
+//! the paper's GPU kernels (level-synchronous batches, one thread per pin /
+//! per net) — see `DESIGN.md` for the GPU→CPU substitution rationale.
+//!
+//! The main entry point is [`Timer`]:
+//!
+//! ```
+//! use dtp_netlist::generate::{generate, GeneratorConfig};
+//! use dtp_liberty::synth::synthetic_pdk;
+//! use dtp_rsmt::build_forest;
+//! use dtp_sta::Timer;
+//!
+//! # fn main() -> Result<(), dtp_sta::StaError> {
+//! let design = generate(&GeneratorConfig::named("demo", 200)).expect("generator config is valid");
+//! let lib = synthetic_pdk();
+//! let timer = Timer::new(&design, &lib)?;
+//! let forest = build_forest(&design.netlist);
+//! let analysis = timer.analyze(&design.netlist, &forest);
+//! println!("WNS = {:.1} ps, TNS = {:.1} ps", analysis.wns(), analysis.tns());
+//! let smoothed = timer.analyze_smoothed(&design.netlist, &forest);
+//! let grads = timer.gradients(&design.netlist, &smoothed, &forest, 1.0, 1.0);
+//! assert_eq!(grads.cell_grad_x.len(), design.netlist.num_cells());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod binding;
+mod elmore;
+mod engine;
+mod error;
+mod graph;
+mod report;
+mod smoothing;
+
+pub use binding::Binding;
+pub use elmore::{ElmoreNet, ElmoreSeeds};
+pub use engine::{Analysis, PositionGradients, Timer, TimerConfig, WireModel};
+pub use error::StaError;
+pub use graph::{PinRole, TimingGraph};
+pub use report::{PathPoint, SlackHistogram, TimingReport};
+pub use smoothing::{lse_max, lse_max_weights, lse_min, smooth_neg, smooth_neg_grad};

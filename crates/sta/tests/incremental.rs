@@ -1,0 +1,143 @@
+//! Equivalence tests for incremental timing analysis: after any set of cell
+//! moves, `analyze_incremental` must match a from-scratch analysis exactly.
+
+use dtp_liberty::synth::synthetic_pdk;
+use dtp_netlist::generate::{generate, GeneratorConfig};
+use dtp_netlist::{CellId, Point};
+use dtp_rsmt::build_forest;
+use dtp_sta::Timer;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn assert_analyses_equal(a: &dtp_sta::Analysis, b: &dtp_sta::Analysis) {
+    for i in 0..a.at.len() {
+        assert!(
+            (a.at[i] - b.at[i]).abs() < 1e-9,
+            "at[{i}]: {} vs {}",
+            a.at[i],
+            b.at[i]
+        );
+        assert!((a.slew[i] - b.slew[i]).abs() < 1e-9);
+        assert!((a.at_early[i] - b.at_early[i]).abs() < 1e-9);
+        let (sa, sb) = (a.slack[i], b.slack[i]);
+        assert!(sa == sb || (sa - sb).abs() < 1e-9, "slack[{i}]: {sa} vs {sb}");
+        let (ra, rb) = (a.rat[i], b.rat[i]);
+        assert!(ra == rb || (ra - rb).abs() < 1e-9, "rat[{i}]: {ra} vs {rb}");
+    }
+    assert!((a.wns() - b.wns()).abs() < 1e-9);
+    assert!((a.tns() - b.tns()).abs() < 1e-9);
+}
+
+fn run_case(cells: usize, moves: usize, seed: u64, smoothed: bool) {
+    let mut design = generate(&GeneratorConfig::named("inc", cells)).expect("generator");
+    let lib = synthetic_pdk();
+    let timer = Timer::new(&design, &lib).expect("timer builds");
+    let mut forest = build_forest(&design.netlist);
+    let prev = if smoothed {
+        timer.analyze_smoothed(&design.netlist, &forest)
+    } else {
+        timer.analyze(&design.netlist, &forest)
+    };
+
+    // Move a random subset of cells.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let movable: Vec<CellId> = design.netlist.movable_cells().collect();
+    let mut moved = Vec::new();
+    for _ in 0..moves {
+        let c = movable[rng.gen_range(0..movable.len())];
+        let pos = design.netlist.cell(c).pos();
+        design.netlist.set_cell_pos(
+            c,
+            Point::new(pos.x + rng.gen_range(-3.0..3.0), pos.y + rng.gen_range(-3.0..3.0)),
+        );
+        moved.push(c);
+    }
+    forest.update_positions(&design.netlist);
+
+    let incr = timer.analyze_incremental(&design.netlist, &forest, &prev, &moved, true);
+    let full = if smoothed {
+        timer.analyze_smoothed(&design.netlist, &forest)
+    } else {
+        timer.analyze(&design.netlist, &forest)
+    };
+    assert_analyses_equal(&incr, &full);
+}
+
+#[test]
+fn single_move_exact_mode() {
+    run_case(250, 1, 1, false);
+}
+
+#[test]
+fn few_moves_exact_mode() {
+    run_case(250, 8, 2, false);
+}
+
+#[test]
+fn many_moves_exact_mode() {
+    run_case(250, 100, 3, false);
+}
+
+#[test]
+fn smoothed_mode_matches_too() {
+    run_case(200, 5, 4, true);
+}
+
+#[test]
+fn no_moves_is_identity() {
+    let design = generate(&GeneratorConfig::named("inc0", 150)).expect("generator");
+    let lib = synthetic_pdk();
+    let timer = Timer::new(&design, &lib).expect("timer builds");
+    let forest = build_forest(&design.netlist);
+    let prev = timer.analyze(&design.netlist, &forest);
+    let incr = timer.analyze_incremental(&design.netlist, &forest, &prev, &[], true);
+    assert_analyses_equal(&incr, &prev);
+}
+
+#[test]
+fn repeated_incremental_stays_consistent() {
+    // Chain several incremental updates; the result must still match a
+    // from-scratch analysis (no drift accumulation).
+    let mut design = generate(&GeneratorConfig::named("inc_chain", 200)).expect("generator");
+    let lib = synthetic_pdk();
+    let timer = Timer::new(&design, &lib).expect("timer builds");
+    let mut forest = build_forest(&design.netlist);
+    let mut analysis = timer.analyze(&design.netlist, &forest);
+    let mut rng = StdRng::seed_from_u64(99);
+    let movable: Vec<CellId> = design.netlist.movable_cells().collect();
+    for _ in 0..5 {
+        let c = movable[rng.gen_range(0..movable.len())];
+        let pos = design.netlist.cell(c).pos();
+        design
+            .netlist
+            .set_cell_pos(c, Point::new(pos.x + 1.5, pos.y - 0.5));
+        forest.update_positions(&design.netlist);
+        analysis = timer.analyze_incremental(&design.netlist, &forest, &analysis, &[c], true);
+    }
+    let full = timer.analyze(&design.netlist, &forest);
+    assert_analyses_equal(&analysis, &full);
+}
+
+#[test]
+fn skipping_rat_keeps_metrics_exact() {
+    let mut design = generate(&GeneratorConfig::named("inc_norat", 200)).expect("generator");
+    let lib = synthetic_pdk();
+    let timer = Timer::new(&design, &lib).expect("timer builds");
+    let mut forest = build_forest(&design.netlist);
+    let prev = timer.analyze(&design.netlist, &forest);
+    let movable: Vec<CellId> = design.netlist.movable_cells().collect();
+    let c = movable[3];
+    let pos = design.netlist.cell(c).pos();
+    design.netlist.set_cell_pos(c, Point::new(pos.x + 4.0, pos.y));
+    forest.update_positions(&design.netlist);
+    let fast = timer.analyze_incremental(&design.netlist, &forest, &prev, &[c], false);
+    let full = timer.analyze(&design.netlist, &forest);
+    // WNS/TNS/slacks exact even without the RAT sweep.
+    assert!((fast.wns() - full.wns()).abs() < 1e-9);
+    assert!((fast.tns() - full.tns()).abs() < 1e-9);
+    for &p in full.endpoints() {
+        assert!((fast.slack[p.index()] - full.slack[p.index()]).abs() < 1e-9);
+    }
+    // RATs are carried over from prev (stale by design).
+    assert_eq!(fast.rat, prev.rat);
+}

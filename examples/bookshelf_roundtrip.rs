@@ -1,0 +1,66 @@
+//! Interchange example: export a placed design to the Bookshelf format
+//! (`.nodes/.nets/.pl/.scl`) plus the library to Liberty text, read both
+//! back, and verify the structural view survives — the path by which real
+//! contest data enters the flow.
+//!
+//! Run with: `cargo run -p dtp-core --example bookshelf_roundtrip`
+
+use dtp_liberty::synth::synthetic_pdk;
+use dtp_netlist::bookshelf;
+use dtp_netlist::generate::{generate, GeneratorConfig};
+use dtp_place::WirelengthModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let design = generate(&GeneratorConfig::named("roundtrip", 400))?;
+    let dir = std::env::temp_dir().join("dtp_bookshelf_example");
+
+    // --- write -----------------------------------------------------------
+    bookshelf::write_design(&design, &dir)?;
+    let lib = synthetic_pdk();
+    let lib_text = dtp_liberty::write(&lib);
+    let lib_path = dir.join("synth_pdk.lib");
+    std::fs::write(&lib_path, &lib_text)?;
+    println!("wrote {}/roundtrip.{{nodes,nets,pl,scl}}", dir.display());
+    println!("wrote {} ({} bytes)", lib_path.display(), lib_text.len());
+
+    // --- read back ---------------------------------------------------------
+    let back = bookshelf::read_design(&dir.join("roundtrip"))?;
+    let lib2 = dtp_liberty::parse(&std::fs::read_to_string(&lib_path)?)?;
+    println!(
+        "read back: {} cells, {} nets, {} rows; library `{}` with {} cells",
+        back.netlist.num_cells(),
+        back.netlist.num_nets(),
+        back.rows.len(),
+        lib2.name,
+        lib2.num_cells()
+    );
+    assert_eq!(back.netlist.num_cells(), design.netlist.num_cells());
+    assert_eq!(back.netlist.num_nets(), design.netlist.num_nets());
+    assert_eq!(lib2.num_cells(), lib.num_cells());
+
+    // HPWL is a pure function of positions + connectivity, so it must
+    // survive the round trip up to text formatting precision. Bookshelf has
+    // no clock-pin attribute, so compare over *all* nets (the clock net
+    // included) rather than through WirelengthModel, which excludes it.
+    let hp1 = all_nets_hpwl(&design.netlist);
+    let hp2 = all_nets_hpwl(&back.netlist);
+    println!("HPWL (all nets) before {hp1:.3} um, after {hp2:.3} um");
+    assert!((hp1 - hp2).abs() < 1e-3 * hp1);
+    // The signal-net wirelength model still works on the reimport.
+    let (x2, y2) = back.netlist.positions();
+    let signal_hpwl = WirelengthModel::new(&back.netlist).hpwl(&x2, &y2);
+    println!("signal-net HPWL after reimport: {signal_hpwl:.3} um");
+    println!("round trip OK");
+    Ok(())
+}
+
+/// HPWL over every net of ≥2 pins, clock included.
+fn all_nets_hpwl(nl: &dtp_netlist::Netlist) -> f64 {
+    nl.net_ids()
+        .filter(|&n| nl.net(n).degree() >= 2)
+        .filter_map(|n| {
+            dtp_netlist::Rect::bounding(nl.net(n).pins().iter().map(|&p| nl.pin_position(p)))
+        })
+        .map(|r| r.half_perimeter())
+        .sum()
+}
