@@ -118,15 +118,35 @@ impl DriverPool {
         self.all.push(pin);
     }
 
-    fn draw(&mut self, rng: &mut StdRng) -> Option<PinId> {
-        if !self.slots.is_empty() {
+    /// Draws a driver that still has sink capacity under `cap`, weighted by
+    /// remaining target fanout while slots last, uniform over non-saturated
+    /// drivers afterwards. `used` counts sinks already connected per driver.
+    fn draw(
+        &mut self,
+        rng: &mut StdRng,
+        used: &std::collections::HashMap<PinId, usize>,
+        cap: usize,
+    ) -> Option<PinId> {
+        let has_cap = |p: &PinId| used.get(p).copied().unwrap_or(0) < cap;
+        // Slot entries for drivers that saturated through the bias path are
+        // stale; discard them as they come up.
+        while !self.slots.is_empty() {
             let i = rng.gen_range(0..self.slots.len());
-            Some(self.slots.swap_remove(i))
-        } else if !self.all.is_empty() {
-            Some(self.all[rng.gen_range(0..self.all.len())])
-        } else {
-            None
+            let pin = self.slots.swap_remove(i);
+            if has_cap(&pin) {
+                return Some(pin);
+            }
         }
+        if self.all.is_empty() {
+            return None;
+        }
+        for _ in 0..16 {
+            let pin = self.all[rng.gen_range(0..self.all.len())];
+            if has_cap(&pin) {
+                return Some(pin);
+            }
+        }
+        self.all.iter().copied().find(has_cap)
     }
 }
 
@@ -217,9 +237,13 @@ pub fn generate(config: &GeneratorConfig) -> Result<Design, NetlistError> {
             Ok(())
         };
 
-    // Pool of drivers, grown level by level.
+    // Pool of drivers, grown level by level. `used` counts connected sinks
+    // per driver so no signal net ever exceeds `max_fanout` sinks, whichever
+    // path (slot pool, locality bias, dry-pool fallback) picked the driver.
     let mut pool = DriverPool::new();
     let mut prev_level_drivers: Vec<PinId> = Vec::new();
+    let mut used: std::collections::HashMap<PinId, usize> = std::collections::HashMap::new();
+    let max_fo = config.max_fanout.max(1);
 
     // Level 0: PI ports and register Q outputs.
     for &p in &pi_ports {
@@ -265,11 +289,22 @@ pub fn generate(config: &GeneratorConfig) -> Result<Design, NetlistError> {
                 (ins, out)
             };
             for pin_name in &input_pins {
-                let driver = if !prev_level_drivers.is_empty() && rng.gen::<f64>() < 0.6 {
-                    prev_level_drivers[rng.gen_range(0..prev_level_drivers.len())]
+                // Locality bias: prefer the previous level, but only drivers
+                // that still have fanout capacity.
+                let biased = if !prev_level_drivers.is_empty() && rng.gen::<f64>() < 0.6 {
+                    (0..8)
+                        .map(|_| prev_level_drivers[rng.gen_range(0..prev_level_drivers.len())])
+                        .find(|p| used.get(p).copied().unwrap_or(0) < max_fo)
                 } else {
-                    pool.draw(&mut rng).expect("driver pool is never empty: PIs are added at level 0")
+                    None
                 };
+                let driver = match biased {
+                    Some(p) => p,
+                    None => pool
+                        .draw(&mut rng, &used, max_fo)
+                        .expect("driver pool is never empty: PIs are added at level 0"),
+                };
+                *used.entry(driver).or_insert(0) += 1;
                 sink(&mut b, driver, g, pin_name)?;
             }
             this_level_outputs.push(output_pin);
@@ -289,11 +324,13 @@ pub fn generate(config: &GeneratorConfig) -> Result<Design, NetlistError> {
     // Register D inputs and primary outputs draw from the full pool, biased to
     // deep levels via the pool contents themselves.
     for &r in &regs {
-        let driver = pool.draw(&mut rng).expect("non-empty driver pool");
+        let driver = pool.draw(&mut rng, &used, max_fo).expect("non-empty driver pool");
+        *used.entry(driver).or_insert(0) += 1;
         sink(&mut b, driver, r, stdcells::registers().next().map(|s| s.inputs[0]).unwrap_or("D"))?;
     }
     for &p in &po_ports {
-        let driver = pool.draw(&mut rng).expect("non-empty driver pool");
+        let driver = pool.draw(&mut rng, &used, max_fo).expect("non-empty driver pool");
+        *used.entry(driver).or_insert(0) += 1;
         sink(&mut b, driver, p, crate::model::PORT_PIN)?;
     }
 

@@ -1,0 +1,263 @@
+//! Offline stand-in for the subset of the [`criterion`](https://docs.rs/criterion)
+//! API this workspace's benches use: `Criterion::benchmark_group`,
+//! `sample_size`, `bench_function` / `bench_with_input`, `Bencher::iter` /
+//! `iter_batched`, `BenchmarkId`, `BatchSize`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! The build environment cannot reach a registry, so measurement is
+//! re-implemented on `std::time::Instant`: each benchmark is calibrated with
+//! one warm-up call, then timed over `sample_size` samples of a batch sized
+//! to ~20 ms each (capped so a single benchmark stays under ~1.5 s), and the
+//! **minimum** ns/iter across samples is reported — the low-noise statistic
+//! for a contended single-machine runner. Results print to stdout as
+//! `bench <group>/<id> ... <ns> ns/iter`; there is no HTML report, outlier
+//! analysis, or regression baseline.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall time per measured sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(20);
+/// Hard cap on total measurement time per benchmark.
+const BENCH_BUDGET: Duration = Duration::from_millis(1500);
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, e.g. `analyze_exact/4000`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Parameter-only id, e.g. `64`.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// How `iter_batched` amortizes setup (accepted for API compatibility; the
+/// shim always re-runs setup outside the timed region).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// One setup per timed call.
+    PerIteration,
+    /// Small inputs: batch many calls per setup.
+    SmallInput,
+    /// Large inputs: few calls per setup.
+    LargeInput,
+}
+
+/// Timing harness handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Minimum observed ns/iter, filled by `iter`/`iter_batched`.
+    result_ns: f64,
+}
+
+impl Bencher {
+    /// Measures `f` called back-to-back; reports min ns/iter over samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration call.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters_per_sample =
+            (SAMPLE_TARGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let started = Instant::now();
+        let mut best = f64::INFINITY;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            best = best.min(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+            if started.elapsed() > BENCH_BUDGET {
+                break;
+            }
+        }
+        self.result_ns = best;
+    }
+
+    /// Measures `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the reported ns/iter.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm-up + calibration call.
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters_per_sample =
+            (SAMPLE_TARGET.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let started = Instant::now();
+        let mut best = f64::INFINITY;
+        for _ in 0..self.samples {
+            let mut spent = Duration::ZERO;
+            for _ in 0..iters_per_sample {
+                let input = setup();
+                let t = Instant::now();
+                black_box(routine(input));
+                spent += t.elapsed();
+            }
+            best = best.min(spent.as_nanos() as f64 / iters_per_sample as f64);
+            if started.elapsed() > BENCH_BUDGET {
+                break;
+            }
+        }
+        self.result_ns = best;
+    }
+}
+
+/// A named collection of related benchmarks sharing a sample count.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let mut b = Bencher { samples: self.sample_size, result_ns: f64::NAN };
+        f(&mut b);
+        let full = format!("{}/{}", self.name, id);
+        println!("bench {full:<48} {:>14.1} ns/iter", b.result_ns);
+        self.criterion.results.push((full, b.result_ns));
+    }
+
+    /// Runs a benchmark identified by `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(id.id, f);
+        self
+    }
+
+    /// Runs a benchmark that receives a reference to `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    /// `(group/id, ns_per_iter)` pairs in execution order.
+    pub results: Vec<(String, f64)>,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: 10, criterion: self }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = BenchmarkGroup {
+            criterion: self,
+            name: "bench".to_string(),
+            sample_size: 10,
+        };
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Bundles benchmark functions into a runnable group fn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(n: u64) -> u64 {
+        (0..n).fold(0, |a, b| a.wrapping_add(b * b))
+    }
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("work", 100), &100u64, |b, &n| {
+            b.iter(|| work(n))
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| 50u64, work, BatchSize::LargeInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn group_records_results() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+        assert_eq!(c.results.len(), 2);
+        assert_eq!(c.results[0].0, "g/work/100");
+        assert_eq!(c.results[1].0, "g/batched");
+        assert!(c.results.iter().all(|(_, ns)| ns.is_finite() && *ns > 0.0));
+    }
+
+    criterion_group!(test_group, sample_bench);
+
+    #[test]
+    fn macros_expand() {
+        test_group();
+    }
+}

@@ -1,0 +1,261 @@
+//! Offline stand-in for the subset of the [`rayon`](https://docs.rs/rayon)
+//! API this workspace uses: `par_iter` / `par_iter_mut` on slices,
+//! `into_par_iter` on `Vec<T>` and `Range<usize>`, and the adapters
+//! `map`, `filter`, `filter_map`, `flat_map_iter`, `for_each`, `sum`,
+//! `collect`, `collect_into_vec`.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! real data parallelism with `std::thread::scope`: inputs are materialized
+//! into a `Vec`, split into one contiguous chunk per available core, and each
+//! chunk is processed on its own scoped thread. Chunk results are re-joined
+//! in order, so all order-preserving rayon semantics the callers rely on
+//! (`collect` into an indexed `Vec`, zip-free level sweeps) hold. Work
+//! stealing is not implemented; for the near-uniform per-item costs of the
+//! placement and STA kernels a static partition is within noise of rayon.
+//!
+//! Unlike lazy rayon adapters, each adapter here runs eagerly. Chained
+//! adapters therefore make one parallel pass per stage — acceptable for a
+//! shim, and the hot paths in this workspace chain at most two stages.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Minimum items per spawned thread; below `2 * PAR_MIN` total the overhead
+/// of thread spawn dominates and we stay sequential.
+const PAR_MIN: usize = 512;
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Splits `items` into at most `parts` contiguous chunks of near-equal size.
+fn split_chunks<T>(mut items: Vec<T>, parts: usize) -> Vec<Vec<T>> {
+    let n = items.len();
+    let chunk = n.div_ceil(parts.max(1)).max(1);
+    let mut chunks = Vec::with_capacity(parts);
+    while items.len() > chunk {
+        let tail = items.split_off(chunk);
+        chunks.push(std::mem::replace(&mut items, tail));
+    }
+    chunks.push(items);
+    chunks
+}
+
+/// Applies `f` to chunks of `items` — on scoped threads when the input is
+/// large enough and more than one core is available — and concatenates the
+/// per-chunk outputs in input order.
+fn par_chunked<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(Vec<T>) -> Vec<U> + Sync,
+{
+    let threads = available_threads().min(items.len() / PAR_MIN);
+    if threads <= 1 {
+        return f(items);
+    }
+    let chunks = split_chunks(items, threads);
+    let f = &f;
+    let mut out: Vec<U> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || f(c)))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("shim-rayon worker panicked"));
+        }
+    });
+    out
+}
+
+/// An eager "parallel iterator": the materialized items plus adapter methods
+/// mirroring the rayon combinators the workspace calls.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel element-wise transform.
+    pub fn map<U, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        let f = &f;
+        ParIter { items: par_chunked(self.items, |c| c.into_iter().map(f).collect()) }
+    }
+
+    /// Parallel predicate filter (keeps input order).
+    pub fn filter<F>(self, f: F) -> ParIter<T>
+    where
+        F: Fn(&T) -> bool + Sync,
+    {
+        let f = &f;
+        ParIter { items: par_chunked(self.items, |c| c.into_iter().filter(|t| f(t)).collect()) }
+    }
+
+    /// Parallel fused filter + map.
+    pub fn filter_map<U, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        F: Fn(T) -> Option<U> + Sync,
+    {
+        let f = &f;
+        ParIter { items: par_chunked(self.items, |c| c.into_iter().filter_map(f).collect()) }
+    }
+
+    /// Parallel map where each item yields a serial iterator, flattened in
+    /// input order (rayon's `flat_map_iter`).
+    pub fn flat_map_iter<U, I, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        I: IntoIterator<Item = U>,
+        F: Fn(T) -> I + Sync,
+    {
+        let f = &f;
+        ParIter {
+            items: par_chunked(self.items, |c| c.into_iter().flat_map(|t| f(t)).collect()),
+        }
+    }
+
+    /// Parallel side-effecting visit.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        let f = &f;
+        par_chunked(self.items, |c| {
+            c.into_iter().for_each(f);
+            Vec::<()>::new()
+        });
+    }
+
+    /// Reduces the (already parallel-produced) items serially.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<T>,
+    {
+        self.items.into_iter().sum()
+    }
+
+    /// Collects the items into any `FromIterator` container.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<T>,
+    {
+        self.items.into_iter().collect()
+    }
+
+    /// Clears `target` and moves the items into it, reusing its allocation
+    /// (rayon's `collect_into_vec`, used by the allocation-free STA sweeps).
+    pub fn collect_into_vec(self, target: &mut Vec<T>) {
+        target.clear();
+        target.extend(self.items);
+    }
+}
+
+/// By-value conversion into a parallel iterator (`rayon::IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// Element type of the parallel iterator.
+    type Item: Send;
+    /// Converts `self` into an eager parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+/// `par_iter` on shared slices (`rayon::IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator {
+    /// Element type borrowed from the collection.
+    type Item;
+    /// Borrowing parallel iterator over `&self`.
+    fn par_iter(&self) -> ParIter<&Self::Item>;
+}
+
+impl<T: Sync> IntoParallelRefIterator for [T] {
+    type Item = T;
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+/// `par_iter_mut` on mutable slices (`rayon::IntoParallelRefMutIterator`).
+pub trait IntoParallelRefMutIterator {
+    /// Element type mutably borrowed from the collection.
+    type Item;
+    /// Mutably borrowing parallel iterator over `&mut self`.
+    fn par_iter_mut(&mut self) -> ParIter<&mut Self::Item>;
+}
+
+impl<T: Send> IntoParallelRefMutIterator for [T] {
+    type Item = T;
+    fn par_iter_mut(&mut self) -> ParIter<&mut T> {
+        ParIter { items: self.iter_mut().collect() }
+    }
+}
+
+/// Glob-import surface, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..10_000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 10_000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+    }
+
+    #[test]
+    fn slice_par_iter_and_sum() {
+        let data: Vec<f64> = (0..5000).map(|i| i as f64).collect();
+        let s: f64 = data.par_iter().map(|&x| x).sum();
+        assert_eq!(s, (4999.0 * 5000.0) / 2.0);
+    }
+
+    #[test]
+    fn par_iter_mut_for_each_mutates() {
+        let mut data: Vec<u64> = vec![1; 3000];
+        data.par_iter_mut().for_each(|x| *x += 1);
+        assert!(data.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn filter_and_flat_map_iter() {
+        let v: Vec<usize> = (0..1000)
+            .into_par_iter()
+            .filter(|&i| i % 2 == 0)
+            .flat_map_iter(|i| [i, i])
+            .collect();
+        assert_eq!(v.len(), 1000);
+        assert_eq!(v[0..4], [0, 0, 2, 2]);
+    }
+
+    #[test]
+    fn collect_into_vec_reuses_buffer() {
+        let mut buf: Vec<usize> = Vec::with_capacity(64);
+        (0..50usize).into_par_iter().map(|i| i + 1).collect_into_vec(&mut buf);
+        assert_eq!(buf.len(), 50);
+        assert_eq!(buf[49], 50);
+    }
+}

@@ -1,0 +1,52 @@
+//! Derive macros backing the offline `serde` shim (`shim-serde`).
+//!
+//! The shim's `Serialize` / `Deserialize` are empty marker traits — nothing
+//! in the workspace serializes through serde at runtime — so the derives only
+//! need to emit marker impls. Implemented with direct `proc_macro` token
+//! scanning (no `syn`/`quote`: the build environment cannot reach a
+//! registry): find the `struct` / `enum` keyword at the top level of the
+//! item, take the following identifier as the type name. The emitted impls
+//! use the relative path `serde::…`, which every consumer resolves through
+//! the extern prelude (the shim is wired in under the dependency name
+//! `serde`).
+//!
+//! Limitations (deliberate, checked against the workspace): derived types
+//! must not be generic, and `#[serde(...)]` attributes are accepted but
+//! ignored.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name from a `struct`/`enum` item's token stream.
+fn type_name(input: &TokenStream) -> String {
+    let mut iter = input.clone().into_iter();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                match iter.next() {
+                    Some(TokenTree::Ident(name)) => return name.to_string(),
+                    other => panic!("shim-serde-derive: expected type name, got {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("shim-serde-derive: no struct/enum keyword in derive input");
+}
+
+/// Derives the shim's marker `Serialize` impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    format!("impl serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives the shim's marker `Deserialize` impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}

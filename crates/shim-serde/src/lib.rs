@@ -1,0 +1,20 @@
+//! Offline stand-in for the subset of the [`serde`](https://docs.rs/serde)
+//! API this workspace uses.
+//!
+//! The workspace only *derives* `Serialize` / `Deserialize` on plain config
+//! and data types; nothing serializes through serde at runtime (the on-disk
+//! formats are bookshelf/verilog/liberty text handled by hand-written
+//! writers). The build environment cannot reach a registry, so the traits
+//! here are empty markers and the derive macros (from `shim-serde-derive`)
+//! emit marker impls. If a future PR needs real serialization, grow these
+//! traits in place — every derive site already compiles against this shim.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use shim_serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,30 @@
+//! The derives must compile on the shapes the workspace actually uses:
+//! plain structs and enums, with and without `#[serde(...)]`-free field
+//! attributes, imported through the crate rename `serde`.
+
+use shim_serde as serde;
+use shim_serde::{Deserialize, Serialize};
+
+#[derive(Serialize, Deserialize)]
+struct Plain {
+    _x: f64,
+    _name: String,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Mode {
+    A,
+    B { value: usize },
+}
+
+#[derive(Serialize, Deserialize, Default)]
+pub struct TrailingDerive(u32);
+
+fn assert_impls<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+
+#[test]
+fn derives_emit_marker_impls() {
+    assert_impls::<Plain>();
+    assert_impls::<Mode>();
+    assert_impls::<TrailingDerive>();
+}
