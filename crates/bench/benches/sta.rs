@@ -41,6 +41,7 @@ criterion_main!(benches);
 
 fn bench_incremental(c: &mut Criterion) {
     use dtp_netlist::{CellId, Point};
+    use dtp_sta::AnalysisScratch;
     let lib = synthetic_pdk();
     let mut group = c.benchmark_group("sta_incremental");
     group.sample_size(20);
@@ -49,17 +50,53 @@ fn bench_incremental(c: &mut Criterion) {
         .expect("generator succeeds");
     let timer = Timer::new(&design, &lib).expect("timer builds");
     let mut forest = build_forest(&design.netlist);
-    let prev = timer.analyze(&design.netlist, &forest);
-    // Move a small cluster of cells (the incremental-placement workload).
-    let moved: Vec<CellId> = design.netlist.movable_cells().take(10).collect();
-    for &c in &moved {
-        let pos = design.netlist.cell(c).pos();
-        design.netlist.set_cell_pos(c, Point::new(pos.x + 2.0, pos.y + 1.0));
+    let movable: Vec<CellId> = design.netlist.movable_cells().collect();
+    // Sweep the moved-cell fraction: 0.1 % (steady-state placement tail),
+    // 1 % (typical timing iteration) and 10 % (near the fallback threshold).
+    for permille in [1usize, 10, 100] {
+        let n_moved = (movable.len() * permille / 1000).max(1);
+        let prev = timer.analyze(&design.netlist, &forest);
+        let moved: Vec<CellId> = movable.iter().copied().take(n_moved).collect();
+        for &c in &moved {
+            let pos = design.netlist.cell(c).pos();
+            design.netlist.set_cell_pos(c, Point::new(pos.x + 2.0, pos.y + 1.0));
+        }
+        forest.update_positions(&design.netlist);
+        let label = format!("{:.1}%", permille as f64 / 10.0);
+        group.bench_with_input(
+            BenchmarkId::new("incremental", &label),
+            &n_moved,
+            |b, _| {
+                b.iter(|| {
+                    black_box(timer.analyze_incremental(
+                        &design.netlist,
+                        &forest,
+                        &prev,
+                        &moved,
+                        false,
+                    ))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("incremental_scratch", &label),
+            &n_moved,
+            |b, _| {
+                let mut scratch = AnalysisScratch::new();
+                b.iter(|| {
+                    let a = timer.analyze_incremental_into(
+                        &design.netlist,
+                        &forest,
+                        &prev,
+                        &moved,
+                        false,
+                        &mut scratch,
+                    );
+                    scratch.recycle(black_box(a));
+                })
+            },
+        );
     }
-    forest.update_positions(&design.netlist);
-    group.bench_function("incremental_10_moves", |b| {
-        b.iter(|| black_box(timer.analyze_incremental(&design.netlist, &forest, &prev, &moved, false)))
-    });
     group.bench_function("full_reanalysis", |b| {
         b.iter(|| black_box(timer.analyze(&design.netlist, &forest)))
     });

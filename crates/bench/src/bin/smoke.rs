@@ -16,11 +16,10 @@ fn main() {
     let cfg = FlowConfig::default();
     let r = run_flow(&design, &lib, FlowMode::Wirelength, &cfg).unwrap();
     println!("{r}");
-    for boost in [2.0] {
-        let m = FlowMode::NetWeighting(NetWeightConfig { max_boost: boost, ..Default::default() });
-        let r = run_flow(&design, &lib, m, &cfg).unwrap();
-        println!("{r}   (boost {boost})");
-    }
+    let boost = 2.0;
+    let m = FlowMode::NetWeighting(NetWeightConfig { max_boost: boost, ..Default::default() });
+    let r = run_flow(&design, &lib, m, &cfg).unwrap();
+    println!("{r}   (boost {boost})");
     for (t1, t2, growth, start) in [
         (0.04, 0.0004, 1.01, 100usize),
         (0.04, 0.0001, 1.01, 100),

@@ -150,6 +150,25 @@ pub struct FlowConfig {
     pub detail_passes: usize,
     /// Which legalization algorithm runs after global placement.
     pub legalizer: LegalizerChoice,
+    /// Drive the per-iteration timing analyses through the dirty-set
+    /// incremental pipeline (per-net Steiner maintenance, incremental STA
+    /// and scratch-buffer reuse). `false` restores the legacy behaviour:
+    /// a blanket periodic forest rebuild and a full analysis every
+    /// timing iteration.
+    pub incremental_timing: bool,
+    /// Minimum Manhattan displacement (µm) below which a cell does not
+    /// dirty its nets. 0 = any nonzero movement counts.
+    pub dirty_threshold: f64,
+    /// A net's Steiner topology is rebuilt when the accumulated worst cell
+    /// drift since its last build exceeds this fraction of the net's pin
+    /// bounding-box half-perimeter; until then only node coordinates are
+    /// updated.
+    pub topo_dirty_frac: f64,
+    /// Fall back to a full (non-incremental) analysis when more than this
+    /// fraction of nets is dirty in one iteration — past that point the
+    /// frontier sweep re-evaluates most of the graph anyway and the
+    /// bookkeeping is pure overhead.
+    pub incremental_fallback_frac: f64,
 }
 
 /// Legalization algorithm selection.
@@ -175,6 +194,10 @@ impl Default for FlowConfig {
             seed: 1,
             detail_passes: 2,
             legalizer: LegalizerChoice::Abacus,
+            incremental_timing: true,
+            dirty_threshold: 0.0,
+            topo_dirty_frac: 0.10,
+            incremental_fallback_frac: 0.30,
         }
     }
 }

@@ -12,11 +12,11 @@
 use crate::config::{FlowConfig, FlowMode, LegalizerChoice};
 use crate::weighting::NetWeighter;
 use dtp_liberty::Library;
-use dtp_netlist::{Design, NetlistError};
+use dtp_netlist::{CellId, Design, NetId, NetlistError};
 use dtp_place::detail::DetailPlacer;
 use dtp_place::{AbacusLegalizer, DensityModel, Legalizer, NesterovOptimizer, WirelengthModel};
 use dtp_rsmt::{build_forest, SteinerForest};
-use dtp_sta::{StaError, Timer, TimerConfig};
+use dtp_sta::{Analysis, AnalysisScratch, PositionGradients, StaError, Timer, TimerConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
@@ -122,6 +122,172 @@ impl fmt::Display for FlowResult {
     }
 }
 
+/// Dirty-set bookkeeping for the incremental timing pipeline.
+///
+/// One instance lives across the whole placement loop; every buffer persists
+/// between iterations so the per-iteration work is proportional to the
+/// number of moved cells, not the design size.
+struct IncrementalState {
+    /// Positions at the last Steiner-forest synchronization.
+    last_x: Vec<f64>,
+    last_y: Vec<f64>,
+    /// Accumulated worst cell drift per net since its last topology build.
+    net_drift: Vec<f64>,
+    /// Topology-rebuild budget per net:
+    /// `topo_dirty_frac × pin bounding-box half-perimeter` at build time.
+    net_budget: Vec<f64>,
+    /// This-iteration max displacement per net (sparse; reset via `touched`).
+    net_disp: Vec<f64>,
+    /// Cells moved since the last timing analysis (flags + dense list).
+    cell_moved: Vec<bool>,
+    moved_cells: Vec<CellId>,
+    /// Nets dirtied since the last timing analysis (flags + dense list).
+    net_dirty: Vec<bool>,
+    dirty_nets: Vec<usize>,
+    /// Per-iteration classification scratch.
+    geo_nets: Vec<NetId>,
+    topo_nets: Vec<NetId>,
+    touched: Vec<usize>,
+}
+
+impl IncrementalState {
+    fn new(num_cells: usize) -> IncrementalState {
+        IncrementalState {
+            last_x: Vec::new(),
+            last_y: Vec::new(),
+            net_drift: Vec::new(),
+            net_budget: Vec::new(),
+            net_disp: Vec::new(),
+            cell_moved: vec![false; num_cells],
+            moved_cells: Vec::new(),
+            net_dirty: Vec::new(),
+            dirty_nets: Vec::new(),
+            geo_nets: Vec::new(),
+            topo_nets: Vec::new(),
+            touched: Vec::new(),
+        }
+    }
+
+    /// Re-seeds the bookkeeping after a full forest build: budgets from the
+    /// fresh trees, zero drift, reference positions = current positions.
+    fn reset_after_build(
+        &mut self,
+        forest: &SteinerForest,
+        xs: &[f64],
+        ys: &[f64],
+        topo_frac: f64,
+    ) {
+        let n = forest.len();
+        self.net_drift.clear();
+        self.net_drift.resize(n, 0.0);
+        self.net_disp.clear();
+        self.net_disp.resize(n, 0.0);
+        self.net_budget.clear();
+        self.net_budget.extend((0..n).map(|ni| {
+            topo_frac
+                * forest
+                    .tree(NetId::new(ni))
+                    .map_or(0.0, |t| t.pin_bbox_half_perimeter())
+        }));
+        self.net_dirty.clear();
+        self.net_dirty.resize(n, false);
+        self.dirty_nets.clear();
+        self.last_x.clear();
+        self.last_x.extend_from_slice(xs);
+        self.last_y.clear();
+        self.last_y.extend_from_slice(ys);
+        self.cell_moved.fill(false);
+        self.moved_cells.clear();
+    }
+
+    /// Per-iteration forest maintenance: classify the nets of moved cells as
+    /// geometry-dirty (coordinate update) or topology-dirty (per-net Steiner
+    /// rebuild once accumulated drift exceeds the bbox budget), apply both,
+    /// and fold the moved cells into the since-last-analysis dirty set.
+    fn sync_forest(
+        &mut self,
+        nl: &dtp_netlist::Netlist,
+        forest: &mut SteinerForest,
+        xs: &[f64],
+        ys: &[f64],
+        dirty_threshold: f64,
+        topo_frac: f64,
+    ) {
+        self.touched.clear();
+        for c in nl.movable_cells() {
+            let i = c.index();
+            let d = (xs[i] - self.last_x[i]).abs() + (ys[i] - self.last_y[i]).abs();
+            if d <= dirty_threshold {
+                continue;
+            }
+            if !self.cell_moved[i] {
+                self.cell_moved[i] = true;
+                self.moved_cells.push(c);
+            }
+            for &p in nl.cell(c).pins() {
+                let Some(net) = nl.pin(p).net() else { continue };
+                let ni = net.index();
+                if forest.tree(net).is_none() {
+                    continue; // clock net: never built, never timed
+                }
+                if self.net_disp[ni] == 0.0 {
+                    self.touched.push(ni);
+                }
+                if d > self.net_disp[ni] {
+                    self.net_disp[ni] = d;
+                }
+            }
+        }
+        self.geo_nets.clear();
+        self.topo_nets.clear();
+        for &ni in &self.touched {
+            self.net_drift[ni] += self.net_disp[ni];
+            self.net_disp[ni] = 0.0;
+            if !self.net_dirty[ni] {
+                self.net_dirty[ni] = true;
+                self.dirty_nets.push(ni);
+            }
+            if self.net_drift[ni] > self.net_budget[ni] {
+                self.topo_nets.push(NetId::new(ni));
+            } else {
+                self.geo_nets.push(NetId::new(ni));
+            }
+        }
+        forest.update_nets(nl, &self.geo_nets);
+        forest.rebuild_nets(nl, &self.topo_nets);
+        for &net in &self.topo_nets {
+            let ni = net.index();
+            self.net_drift[ni] = 0.0;
+            self.net_budget[ni] = topo_frac
+                * forest
+                    .tree(net)
+                    .map_or(0.0, |t| t.pin_bbox_half_perimeter());
+        }
+        self.last_x.copy_from_slice(xs);
+        self.last_y.copy_from_slice(ys);
+    }
+
+    /// Fraction of nets dirtied since the last analysis.
+    fn dirty_fraction(&self, num_nets: usize) -> f64 {
+        if num_nets == 0 {
+            0.0
+        } else {
+            self.dirty_nets.len() as f64 / num_nets as f64
+        }
+    }
+
+    /// Clears the since-last-analysis dirty set (call right after an
+    /// analysis consumed it).
+    fn mark_analyzed(&mut self) {
+        for c in self.moved_cells.drain(..) {
+            self.cell_moved[c.index()] = false;
+        }
+        for ni in self.dirty_nets.drain(..) {
+            self.net_dirty[ni] = false;
+        }
+    }
+}
+
 /// Runs one placement flow on `design` and returns metrics, trace and the
 /// final legalized placement.
 ///
@@ -188,6 +354,14 @@ pub fn run_flow(
 
     let mut opt = NesterovOptimizer::new(&work, bin_w);
     let mut forest: Option<SteinerForest> = None;
+    let mut inc = IncrementalState::new(nl_cells);
+    let mut scratch = AnalysisScratch::new();
+    let mut grads = PositionGradients::default();
+    let mut prev: Option<Analysis> = None;
+    // Persistent position buffers (refilled from the optimizer each
+    // iteration instead of allocating two fresh Vecs).
+    let mut vx: Vec<f64> = Vec::new();
+    let mut vy: Vec<f64> = Vec::new();
     let mut lambda = config.lambda_init;
     let mut overflow = 1.0f64;
     let mut trace = Vec::new();
@@ -200,10 +374,13 @@ pub fn run_flow(
     let mut iterations = 0usize;
     for iter in 0..config.max_iters {
         iterations = iter + 1;
-        let (vx, vy) = {
+        {
             let (a, b) = opt.positions();
-            (a.to_vec(), b.to_vec())
-        };
+            vx.clear();
+            vx.extend_from_slice(a);
+            vy.clear();
+            vy.extend_from_slice(b);
+        }
         work.netlist.set_positions(&vx, &vy);
 
         // Steiner forest maintenance (only when some consumer needs it).
@@ -215,13 +392,38 @@ pub fn run_flow(
         let trace_timing =
             config.trace_timing_every > 0 && iter % config.trace_timing_every == 0;
         if timing_active || trace_timing {
-            let rebuild_period = match mode {
-                FlowMode::Differentiable(d) => d.steiner_rebuild_period,
-                _ => 10,
-            };
-            match &mut forest {
-                Some(f) if iter % rebuild_period != 0 => f.update_positions(&work.netlist),
-                _ => forest = Some(build_forest(&work.netlist)),
+            if config.incremental_timing {
+                // Dirty-set maintenance: per-net coordinate updates for
+                // geometry-dirty nets, per-net Steiner rebuilds once a net's
+                // accumulated drift exceeds its bbox budget. Replaces the
+                // blanket periodic full-forest rebuild.
+                match &mut forest {
+                    Some(f) => inc.sync_forest(
+                        &work.netlist,
+                        f,
+                        &vx,
+                        &vy,
+                        config.dirty_threshold,
+                        config.topo_dirty_frac,
+                    ),
+                    None => {
+                        let f = build_forest(&work.netlist);
+                        inc.reset_after_build(&f, &vx, &vy, config.topo_dirty_frac);
+                        forest = Some(f);
+                        if let Some(p) = prev.take() {
+                            scratch.recycle(p);
+                        }
+                    }
+                }
+            } else {
+                let rebuild_period = match mode {
+                    FlowMode::Differentiable(d) => d.steiner_rebuild_period,
+                    _ => 10,
+                };
+                match &mut forest {
+                    Some(f) if iter % rebuild_period != 0 => f.update_positions(&work.netlist),
+                    _ => forest = Some(build_forest(&work.netlist)),
+                }
             }
         }
 
@@ -256,8 +458,46 @@ pub fn run_flow(
             FlowMode::Differentiable(dcfg) if timing_active => {
                 let f = forest.as_ref().expect("forest built when timing is active");
                 let t0 = Instant::now();
-                let analysis = timer.analyze_smoothed(&work.netlist, f);
-                let grads = timer.gradients(&work.netlist, &analysis, f, t1, t2);
+                // Incremental smoothed analysis when only a few nets are
+                // dirty; full re-analysis on the first timing iteration and
+                // past the fallback fraction. Gradients never read RATs, so
+                // the incremental path skips the backward sweep.
+                let analysis = match prev.take() {
+                    Some(p)
+                        if config.incremental_timing
+                            && p.gamma == timer_gamma
+                            && inc.dirty_fraction(f.len())
+                                <= config.incremental_fallback_frac =>
+                    {
+                        let a = timer.analyze_incremental_into(
+                            &work.netlist,
+                            f,
+                            &p,
+                            &inc.moved_cells,
+                            false,
+                            &mut scratch,
+                        );
+                        scratch.recycle(p);
+                        a
+                    }
+                    p => {
+                        if let Some(p) = p {
+                            scratch.recycle(p);
+                        }
+                        timer.analyze_smoothed_into(&work.netlist, f, &mut scratch)
+                    }
+                };
+                inc.mark_analyzed();
+                timer.gradients_into(
+                    &work.netlist,
+                    &analysis,
+                    f,
+                    t1,
+                    t2,
+                    &mut scratch,
+                    &mut grads,
+                );
+                prev = Some(analysis);
                 timing_runtime += t0.elapsed().as_secs_f64();
                 // Optional preconditioning (§5 future work): normalize the
                 // timing gradient against the combined WL+density gradient.
@@ -282,19 +522,47 @@ pub fn run_flow(
                 t1 *= dcfg.growth;
                 t2 *= dcfg.growth;
             }
-            FlowMode::NetWeighting(wcfg) if timing_active => {
-                if (iter - wcfg.start_iter) % wcfg.sta_period == 0 {
-                    let f = forest.as_ref().expect("forest built when timing is active");
-                    let t0 = Instant::now();
-                    let analysis = timer.analyze(&work.netlist, f);
-                    weighter
-                        .as_mut()
-                        .expect("weighter exists in net-weighting mode")
-                        .update(&work.netlist, &wl_model, &analysis);
-                    timing_runtime += t0.elapsed().as_secs_f64();
-                    traced_wns = analysis.wns();
-                    traced_tns = analysis.tns();
-                }
+            FlowMode::NetWeighting(wcfg)
+                if timing_active && (iter - wcfg.start_iter) % wcfg.sta_period == 0 =>
+            {
+                let f = forest.as_ref().expect("forest built when timing is active");
+                let t0 = Instant::now();
+                // The weighter reads per-pin slacks, so the incremental
+                // path must recompute the RAT sweep (`recompute_rat`).
+                let analysis = match prev.take() {
+                    Some(p)
+                        if config.incremental_timing
+                            && p.gamma == 0.0
+                            && inc.dirty_fraction(f.len())
+                                <= config.incremental_fallback_frac =>
+                    {
+                        let a = timer.analyze_incremental_into(
+                            &work.netlist,
+                            f,
+                            &p,
+                            &inc.moved_cells,
+                            true,
+                            &mut scratch,
+                        );
+                        scratch.recycle(p);
+                        a
+                    }
+                    p => {
+                        if let Some(p) = p {
+                            scratch.recycle(p);
+                        }
+                        timer.analyze_into(&work.netlist, f, &mut scratch)
+                    }
+                };
+                inc.mark_analyzed();
+                weighter
+                    .as_mut()
+                    .expect("weighter exists in net-weighting mode")
+                    .update(&work.netlist, &wl_model, &analysis);
+                timing_runtime += t0.elapsed().as_secs_f64();
+                traced_wns = analysis.wns();
+                traced_tns = analysis.tns();
+                prev = Some(analysis);
             }
             _ => {}
         }

@@ -127,7 +127,8 @@ pub fn refine_timing(
                 }
                 let trial =
                     timer.analyze_incremental(&work.netlist, &forest, &analysis, &[c], false);
-                let better_than_best = best.as_ref().map_or(true, |(bt, _, _)| trial.tns() > *bt);
+                let better_than_best =
+                    best.as_ref().is_none_or(|(bt, _, _)| trial.tns() > *bt);
                 if trial.tns() > analysis.tns() + 1e-9
                     && trial.wns() >= analysis.wns() - 1e-9
                     && better_than_best

@@ -345,16 +345,14 @@ pub fn generate(config: &GeneratorConfig) -> Result<Design, NetlistError> {
     }
 
     // Dangling gate outputs become extra primary outputs so validation holds.
-    let mut extra_po = 0usize;
     let dangling: Vec<PinId> = gate_outputs
         .iter()
         .chain(reg_q_pins.iter())
         .copied()
         .filter(|p| !net_of_driver.contains_key(p))
         .collect();
-    for pin in dangling {
+    for (extra_po, pin) in dangling.into_iter().enumerate() {
         let po = b.add_output_port(format!("xout{extra_po}"))?;
-        extra_po += 1;
         let net = b.add_net(format!("net{net_counter}"))?;
         net_counter += 1;
         b.connect(net, pin)?;

@@ -114,7 +114,7 @@ impl Sdc {
                                     .clone();
                                 i += 2;
                             }
-                            t if t == "get_ports" => {
+                            "get_ports" => {
                                 sdc.clock_port = tokens.get(i + 1).cloned();
                                 i += 2;
                             }

@@ -171,16 +171,16 @@ impl AbacusLegalizer {
             while best.is_none() {
                 let lo = target_row.saturating_sub(window);
                 let hi = (target_row + window + 1).min(self.row_y.len());
-                for r in lo..hi {
+                for (r, row) in rows.iter().enumerate().take(hi).skip(lo) {
                     let dy = (self.row_y[r] - ty).abs();
                     if let Some((bc, _)) = best {
                         if dy >= bc {
                             continue; // even zero x-cost cannot beat this row
                         }
                     }
-                    let dx = rows[r].trial_cost(w, tx, self.x_min, self.x_max);
+                    let dx = row.trial_cost(w, tx, self.x_min, self.x_max);
                     let cost = dx + dy;
-                    if cost.is_finite() && best.map_or(true, |(bc, _)| cost < bc) {
+                    if cost.is_finite() && best.is_none_or(|(bc, _)| cost < bc) {
                         best = Some((cost, r));
                     }
                 }

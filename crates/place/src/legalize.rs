@@ -66,15 +66,15 @@ impl Legalizer {
             let w = site_width(nl.class_of(c).width());
             let ty = ys[i];
             let mut best: Option<(f64, usize)> = None;
-            for r in 0..n_rows {
-                if remaining[r] < w - 1e-9 {
+            for (r, &rem) in remaining.iter().enumerate() {
+                if rem < w - 1e-9 {
                     continue;
                 }
                 // Penalize nearly-full rows slightly so load stays balanced.
                 let cap0 = self.row_x_max[r] - self.row_x_min[r];
-                let fullness = 1.0 - remaining[r] / cap0;
+                let fullness = 1.0 - rem / cap0;
                 let cost = (self.row_y[r] - ty).abs() + 2.0 * fullness * fullness;
-                if best.map_or(true, |(bc, _)| cost < bc) {
+                if best.is_none_or(|(bc, _)| cost < bc) {
                     best = Some((cost, r));
                 }
             }
@@ -86,9 +86,9 @@ impl Legalizer {
         // Phase 2: pack each row with a suffix-aware frontier.
         let mut total = 0.0f64;
         let mut max_disp = 0.0f64;
-        for r in 0..n_rows {
+        for (r, mems) in members.iter().enumerate() {
             // Members arrive in global ascending x; keep that order.
-            let widths: Vec<f64> = members[r]
+            let widths: Vec<f64> = mems
                 .iter()
                 .map(|&c| site_width(nl.class_of(c).width()))
                 .collect();
@@ -97,7 +97,7 @@ impl Legalizer {
                 suffix[k] = suffix[k + 1] + widths[k];
             }
             let mut frontier = self.row_x_min[r];
-            for (k, &c) in members[r].iter().enumerate() {
+            for (k, &c) in mems.iter().enumerate() {
                 let i = c.index();
                 let (tx, ty) = (xs[i], ys[i]);
                 let latest = self.row_x_max[r] - suffix[k];

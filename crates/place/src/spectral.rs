@@ -49,8 +49,8 @@ impl Spectral2D {
             let mut cos_t = vec![0.0; k * k];
             let mut sin_t = vec![0.0; k * k];
             let mut w = vec![0.0; k];
-            for u in 0..k {
-                w[u] = std::f64::consts::PI * u as f64 / extent;
+            for (u, wk) in w.iter_mut().enumerate() {
+                *wk = std::f64::consts::PI * u as f64 / extent;
             }
             for i in 0..k {
                 // Midpoint of bin i in normalized angle: πu(i+0.5)/k.
@@ -208,7 +208,7 @@ mod tests {
     #[test]
     fn constant_grid_has_single_dc_coefficient() {
         let s = Spectral2D::new(4, 4, 1.0, 1.0);
-        let coef = s.dct2(&vec![3.0; 16]);
+        let coef = s.dct2(&[3.0; 16]);
         assert!((coef[0] - 3.0).abs() < 1e-12);
         for &c in &coef[1..] {
             assert!(c.abs() < 1e-10);

@@ -113,7 +113,9 @@ impl WirelengthModel {
         if let Some(w) = weights {
             assert_eq!(w.len(), self.num_nets(), "one weight per model net");
         }
-        let results: Vec<(f64, Vec<(u32, f64, f64)>)> = (0..self.num_nets())
+        // Per net: (weighted wirelength, per-pin (cell, ∂x, ∂y) contributions).
+        type NetContrib = (f64, Vec<(u32, f64, f64)>);
+        let results: Vec<NetContrib> = (0..self.num_nets())
             .into_par_iter()
             .map(|e| {
                 let w = weights.map_or(1.0, |w| w[e]);

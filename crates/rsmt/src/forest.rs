@@ -55,6 +55,56 @@ impl SteinerForest {
         }
     }
 
+    /// Updates the trees of `nets` from the netlist's current pin positions
+    /// (no topology rebuild), skipping every other net. The per-iteration
+    /// geometry-dirty path of the incremental timing pipeline: when only a
+    /// few cells moved, touching their incident nets beats a full
+    /// [`SteinerForest::update_positions`] sweep.
+    pub fn update_nets(&mut self, nl: &Netlist, nets: &[NetId]) {
+        for &n in nets {
+            self.update_net(nl, n);
+        }
+    }
+
+    /// Rebuilds a single net's tree from scratch (new topology) from the
+    /// netlist's current pin positions. No-op for clock nets (their slot
+    /// stays `None`).
+    pub fn rebuild_net(&mut self, nl: &Netlist, net: NetId) {
+        if self.trees[net.index()].is_none() {
+            return;
+        }
+        let pins: Vec<Point> = nl
+            .net(net)
+            .pins()
+            .iter()
+            .map(|&p| nl.pin_position(p))
+            .collect();
+        self.trees[net.index()] = Some(SteinerTree::build(&pins));
+    }
+
+    /// Rebuilds the trees of `nets` from scratch in parallel — the
+    /// topology-dirty path of the incremental timing pipeline, replacing the
+    /// blanket periodic full-forest rebuild with per-net rebuilds of only
+    /// the nets whose cells drifted beyond their bounding-box budget.
+    pub fn rebuild_nets(&mut self, nl: &Netlist, nets: &[NetId]) {
+        let built: Vec<(usize, SteinerTree)> = nets
+            .par_iter()
+            .filter_map(|&n| {
+                self.trees[n.index()].as_ref()?;
+                let pins: Vec<Point> = nl
+                    .net(n)
+                    .pins()
+                    .iter()
+                    .map(|&p| nl.pin_position(p))
+                    .collect();
+                Some((n.index(), SteinerTree::build(&pins)))
+            })
+            .collect();
+        for (i, t) in built {
+            self.trees[i] = Some(t);
+        }
+    }
+
     /// Re-reads pin positions from the netlist and updates every tree without
     /// rebuilding topology (the cheap between-rebuild path of §3.6).
     pub fn update_positions(&mut self, nl: &Netlist) {

@@ -153,6 +153,23 @@ impl SteinerTree {
         (0..self.num_nodes()).map(|i| self.edge_length(i)).sum()
     }
 
+    /// Half-perimeter of the bounding box of the *pin* nodes — the natural
+    /// length scale of the net, used to decide when accumulated cell drift
+    /// justifies a topology rebuild rather than a coordinate update.
+    pub fn pin_bbox_half_perimeter(&self) -> f64 {
+        let mut min_x = f64::INFINITY;
+        let mut max_x = f64::NEG_INFINITY;
+        let mut min_y = f64::INFINITY;
+        let mut max_y = f64::NEG_INFINITY;
+        for p in &self.nodes[..self.n_pins] {
+            min_x = min_x.min(p.x);
+            max_x = max_x.max(p.x);
+            min_y = min_y.min(p.y);
+            max_y = max_y.max(p.y);
+        }
+        (max_x - min_x) + (max_y - min_y)
+    }
+
     /// Moves the pins to new positions and lets the Steiner points ride along
     /// with their branches (Fig. 4): each Steiner coordinate is re-read from
     /// its source pin. The topology is unchanged — this is the cheap update

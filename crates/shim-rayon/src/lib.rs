@@ -116,7 +116,7 @@ impl<T: Send> ParIter<T> {
     {
         let f = &f;
         ParIter {
-            items: par_chunked(self.items, |c| c.into_iter().flat_map(|t| f(t)).collect()),
+            items: par_chunked(self.items, |c| c.into_iter().flat_map(&f).collect()),
         }
     }
 

@@ -27,4 +27,5 @@ fn derives_emit_marker_impls() {
     assert_impls::<Plain>();
     assert_impls::<Mode>();
     assert_impls::<TrailingDerive>();
+    assert_eq!(TrailingDerive::default().0, 0);
 }

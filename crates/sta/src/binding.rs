@@ -11,6 +11,10 @@ use dtp_liberty::{Library, TimingArc};
 use dtp_netlist::{ClassId, Netlist, PinId};
 
 /// Per-class resolved binding data.
+///
+/// Delay arcs are stored in CSR form (flat `(arc, from-pin)` array plus
+/// per-class-pin offsets): the inner loops of every timing sweep read them,
+/// so one contiguous slice per class beats a `Vec` per pin.
 #[derive(Clone, Debug, Default)]
 pub(crate) struct ClassBinding {
     /// Library cell index in the binding's arc arena, or `None` for port
@@ -18,14 +22,26 @@ pub(crate) struct ClassBinding {
     pub bound: bool,
     /// Input capacitance per class pin (0 for outputs/ports).
     pub pin_cap: Vec<f64>,
-    /// For each class pin: indices into `Binding::arcs` of delay arcs *ending*
-    /// at this (output) pin, each tagged with the class-pin index of its
-    /// source input pin.
-    pub delay_arcs: Vec<Vec<(usize, usize)>>, // (arc index, from class-pin)
+    /// Flat delay-arc array: `(index into Binding::arcs, class-pin index of
+    /// the source input pin)`, grouped by destination (output) class pin.
+    pub delay_arc_data: Vec<(u32, u32)>,
+    /// CSR offsets into `delay_arc_data`, one entry per class pin plus a
+    /// trailing end offset.
+    pub delay_arc_offsets: Vec<u32>,
     /// For each class pin: index of the setup arc ending at this (data) pin.
     pub setup_arc: Vec<Option<usize>>,
     /// For each class pin: index of the hold arc ending at this (data) pin.
     pub hold_arc: Vec<Option<usize>>,
+}
+
+impl ClassBinding {
+    /// Delay arcs ending at class pin `cp`, as `(arc index, from class-pin)`.
+    #[inline]
+    pub fn delay_arcs(&self, cp: usize) -> &[(u32, u32)] {
+        let lo = self.delay_arc_offsets[cp] as usize;
+        let hi = self.delay_arc_offsets[cp + 1] as usize;
+        &self.delay_arc_data[lo..hi]
+    }
 }
 
 /// Resolved netlist↔library binding.
@@ -59,7 +75,8 @@ impl Binding {
                 classes.push(ClassBinding {
                     bound: false,
                     pin_cap: vec![0.0; n_pins],
-                    delay_arcs: vec![Vec::new(); n_pins],
+                    delay_arc_data: Vec::new(),
+                    delay_arc_offsets: vec![0; n_pins + 1],
                     setup_arc: vec![None; n_pins],
                     hold_arc: vec![None; n_pins],
                 });
@@ -71,7 +88,8 @@ impl Binding {
             let mut cb = ClassBinding {
                 bound: true,
                 pin_cap: Vec::with_capacity(n_pins),
-                delay_arcs: vec![Vec::new(); n_pins],
+                delay_arc_data: Vec::new(),
+                delay_arc_offsets: Vec::new(),
                 setup_arc: vec![None; n_pins],
                 hold_arc: vec![None; n_pins],
             };
@@ -82,6 +100,9 @@ impl Binding {
                 })?;
                 cb.pin_cap.push(lp.capacitance);
             }
+            // Stage the per-pin arc lists, then flatten to CSR once the whole
+            // cell is resolved (arc order within a pin is library order).
+            let mut per_pin: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n_pins];
             for arc in lib_cell.arcs() {
                 let to = class.find_pin(&arc.to).ok_or_else(|| StaError::UnboundPin {
                     class: class.name().to_owned(),
@@ -96,8 +117,13 @@ impl Binding {
                 match arc.kind {
                     dtp_liberty::ArcKind::Setup => cb.setup_arc[to.index()] = Some(idx),
                     dtp_liberty::ArcKind::Hold => cb.hold_arc[to.index()] = Some(idx),
-                    _ => cb.delay_arcs[to.index()].push((idx, from.index())),
+                    _ => per_pin[to.index()].push((idx as u32, from.index() as u32)),
                 }
+            }
+            cb.delay_arc_offsets.push(0);
+            for pin_arcs in &per_pin {
+                cb.delay_arc_data.extend_from_slice(pin_arcs);
+                cb.delay_arc_offsets.push(cb.delay_arc_data.len() as u32);
             }
             classes.push(cb);
         }
@@ -172,7 +198,7 @@ mod tests {
         if let Some(cid) = d.netlist.find_class("NAND2_X1") {
             let class = d.netlist.class(cid);
             let y = class.find_pin("Y").unwrap();
-            assert_eq!(b.classes[cid.index()].delay_arcs[y.index()].len(), 2);
+            assert_eq!(b.classes[cid.index()].delay_arcs(y.index()).len(), 2);
         }
         // A DFF class has a setup and hold arc on D and a delay arc on Q.
         if let Some(cid) = d.netlist.find_class("DFF_X1") {
@@ -181,7 +207,7 @@ mod tests {
             let q = class.find_pin("Q").unwrap();
             assert!(b.classes[cid.index()].setup_arc[dd.index()].is_some());
             assert!(b.classes[cid.index()].hold_arc[dd.index()].is_some());
-            assert_eq!(b.classes[cid.index()].delay_arcs[q.index()].len(), 1);
+            assert_eq!(b.classes[cid.index()].delay_arcs(q.index()).len(), 1);
         }
     }
 }

@@ -65,6 +65,17 @@ impl ElmoreSeeds {
             grad_root_load: 0.0,
         }
     }
+
+    /// Re-zeros the seeds in place, resizing to `n` nodes if the tree
+    /// topology changed — lets gradient sweeps reuse one seed buffer per net
+    /// across iterations instead of reallocating.
+    pub fn reset(&mut self, n: usize) {
+        for buf in [&mut self.grad_delay, &mut self.grad_impulse_sq, &mut self.grad_beta] {
+            buf.clear();
+            buf.resize(n, 0.0);
+        }
+        self.grad_root_load = 0.0;
+    }
 }
 
 impl ElmoreNet {

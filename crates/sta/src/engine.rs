@@ -5,14 +5,37 @@
 //! iteration then calls [`Timer::analyze`] / [`Timer::analyze_smoothed`] with
 //! the current Steiner forest (stages 2–4) and [`Timer::gradients`] for the
 //! backward sweep (stage 5).
+//!
+//! # The allocation-free hot path
+//!
+//! A timing-driven placement loop calls the timer thousands of times, so the
+//! per-call entry points come in two flavors:
+//!
+//! - the plain ones ([`Timer::analyze`], [`Timer::analyze_incremental`],
+//!   [`Timer::gradients`]) allocate their result vectors fresh — convenient
+//!   for one-shot analyses and tests;
+//! - the `*_into` ones ([`Timer::analyze_into`],
+//!   [`Timer::analyze_incremental_into`], [`Timer::gradients_into`]) draw
+//!   every buffer from a caller-owned [`AnalysisScratch`]. Retiring an
+//!   [`Analysis`] back into the scratch with [`AnalysisScratch::recycle`]
+//!   double-buffers the pin-length vectors: after warm-up the timing hot
+//!   path performs no full-vector allocation or clone per iteration.
+//!
+//! Per-pin arc aggregation uses fixed-capacity stack buffers (spilling to
+//! the heap only for cells with more than [`MAX_INLINE_ARCS`] fan-in arcs),
+//! and the levelized graph, per-class delay arcs and per-net pin
+//! capacitances are all stored CSR-flat (offsets + one data array) so the
+//! sweeps touch contiguous memory.
 
 use crate::binding::Binding;
 use crate::elmore::{ElmoreNet, ElmoreSeeds};
 use crate::error::StaError;
 use crate::graph::{PinRole, TimingGraph};
-use crate::smoothing::{lse_max, lse_max_weights, lse_min_weights, smooth_neg, smooth_neg_grad};
-use dtp_liberty::Library;
-use dtp_netlist::{Design, NetId, Netlist, PinId};
+use crate::smoothing::{
+    lse_max, lse_max_weights_into, lse_min_weights_into, smooth_neg, smooth_neg_grad,
+};
+use dtp_liberty::{ArcEval, Library};
+use dtp_netlist::{CellId, Design, NetId, Netlist, PinId};
 use dtp_rsmt::SteinerForest;
 use rayon::prelude::*;
 use std::sync::Arc;
@@ -57,6 +80,70 @@ impl Default for TimerConfig {
     }
 }
 
+/// Maximum number of fan-in arcs aggregated on the stack per pin; pins with
+/// more arcs fall back to a heap buffer (no common library cell comes close).
+pub const MAX_INLINE_ARCS: usize = 16;
+
+/// Fixed-capacity stack buffer for per-pin arc aggregation in the level
+/// sweeps. Spills to the heap only past `N` elements, so the common case
+/// performs no allocation inside the rayon-parallel pin evaluations.
+#[derive(Debug)]
+struct F64Buf<const N: usize> {
+    stack: [f64; N],
+    len: usize,
+    heap: Vec<f64>,
+}
+
+impl<const N: usize> F64Buf<N> {
+    #[inline]
+    fn new() -> Self {
+        F64Buf { stack: [0.0; N], len: 0, heap: Vec::new() }
+    }
+
+    #[inline]
+    fn push(&mut self, v: f64) {
+        if self.heap.is_empty() && self.len < N {
+            self.stack[self.len] = v;
+            self.len += 1;
+        } else {
+            if self.heap.is_empty() {
+                self.heap.reserve(N + 1);
+                self.heap.extend_from_slice(&self.stack[..self.len]);
+                self.len = 0;
+            }
+            self.heap.push(v);
+        }
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.len == 0 && self.heap.is_empty()
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[f64] {
+        if self.heap.is_empty() { &self.stack[..self.len] } else { &self.heap }
+    }
+
+    /// Sets the buffer to `n` zeros (for in-place weight computation).
+    fn resize_zeroed(&mut self, n: usize) {
+        if n <= N {
+            self.heap.clear();
+            self.len = n;
+            self.stack[..n].fill(0.0);
+        } else {
+            self.len = 0;
+            self.heap.clear();
+            self.heap.resize(n, 0.0);
+        }
+    }
+
+    #[inline]
+    fn as_mut_slice(&mut self) -> &mut [f64] {
+        if self.heap.is_empty() { &mut self.stack[..self.len] } else { &mut self.heap }
+    }
+}
+
 /// The differentiable STA engine bound to one design + library.
 #[derive(Clone, Debug)]
 pub struct Timer {
@@ -66,12 +153,17 @@ pub struct Timer {
     clock_period: f64,
     /// Per-pin index of the pin within its net's pin list (tree node index).
     pin_node_in_net: Vec<u32>,
-    /// Per-net pin capacitances in net pin order (empty for clock nets).
-    net_pin_caps: Vec<Vec<f64>>,
+    /// CSR data: pin capacitances in net pin order, grouped by net (clock
+    /// nets contribute an empty range).
+    net_pin_caps: Vec<f64>,
+    /// CSR offsets into `net_pin_caps`, one per net plus a trailing end.
+    net_cap_offsets: Vec<u32>,
     /// Resolved SDC arrival offset per pin (PI pins only, else 0).
     input_delay: Vec<f64>,
     /// Resolved SDC required margin per pin (PO pins only, else 0).
     output_margin: Vec<f64>,
+    /// Capture endpoints, shared (`Arc`) with every produced [`Analysis`].
+    endpoints: Arc<[PinId]>,
 }
 
 /// The result of one timing analysis: arrival times, slews, slacks and the
@@ -96,7 +188,7 @@ pub struct Analysis {
     /// Per-net Elmore state, shared (`Arc`) so incremental analyses reuse
     /// clean nets without copying.
     elmore: Vec<Option<Arc<ElmoreNet>>>,
-    endpoints: Vec<PinId>,
+    endpoints: Arc<[PinId]>,
 }
 
 impl Analysis {
@@ -173,8 +265,95 @@ impl Analysis {
     }
 }
 
+/// Reusable buffers for the per-iteration timing hot path.
+///
+/// One scratch serves any number of [`Timer::analyze_into`] /
+/// [`Timer::analyze_incremental_into`] / [`Timer::gradients_into`] calls on
+/// the same design. Feed retired analyses back with
+/// [`AnalysisScratch::recycle`] so their vectors return to the pool; the
+/// ping-pong between the live [`Analysis`] and the pool is what makes the
+/// incremental path allocation-free after the first iteration.
+#[derive(Debug, Default)]
+pub struct AnalysisScratch {
+    /// Pool of retired pin-length `f64` buffers (at / slew / slack / rat …).
+    pool_f64: Vec<Vec<f64>>,
+    /// Pool of retired per-net Elmore vectors.
+    pool_elmore: Vec<Vec<Option<Arc<ElmoreNet>>>>,
+    /// Per-level sweep results (`None` for pins skipped as clean).
+    level_results: Vec<Option<(usize, f64, f64, f64)>>,
+    /// Per-net dirty flags for the incremental path.
+    net_dirty: Vec<bool>,
+    /// Per-pin dirty flags for the incremental frontier sweep.
+    pin_dirty: Vec<bool>,
+    /// Indices of dirty nets this iteration.
+    dirty_nets: Vec<usize>,
+    /// Parallel Elmore rebuild results for dirty nets.
+    rebuilt: Vec<(usize, Option<Arc<ElmoreNet>>)>,
+    /// ∂f/∂AT per pin (gradient sweep).
+    g_at: Vec<f64>,
+    /// ∂f/∂slew per pin (gradient sweep).
+    g_slew: Vec<f64>,
+    /// Per-net Elmore gradient seeds, reused across gradient calls.
+    seeds: Vec<Option<ElmoreSeeds>>,
+    /// Endpoint slacks (gradient objective evaluation).
+    endpoint_slacks: Vec<f64>,
+    /// LSE-min weights over endpoint slacks.
+    endpoint_weights: Vec<f64>,
+    /// Fan-in pins + arc evaluations of one combinational output.
+    arc_inputs: Vec<(PinId, ArcEval)>,
+    /// Arc evaluations of one register launch pin.
+    arc_evals: Vec<ArcEval>,
+    /// Per-net position gradients from the parallel Elmore backward pass.
+    net_grads: Vec<Option<NetGrad>>,
+}
+
+/// One net's scattered position gradient: net index + per-pin (∂x, ∂y).
+type NetGrad = (usize, Vec<(f64, f64)>);
+
+impl AnalysisScratch {
+    /// An empty scratch; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        AnalysisScratch::default()
+    }
+
+    /// Retires an [`Analysis`], returning its vectors to the pool so the
+    /// next `*_into` call reuses them instead of allocating.
+    pub fn recycle(&mut self, analysis: Analysis) {
+        let Analysis { at, at_early, slew, slack, hold_slack, rat, mut elmore, .. } = analysis;
+        for v in [at, at_early, slew, slack, hold_slack, rat] {
+            self.pool_f64.push(v);
+        }
+        elmore.clear();
+        self.pool_elmore.push(elmore);
+    }
+
+    /// A pooled buffer of `n` copies of `fill`.
+    fn take_filled(&mut self, n: usize, fill: f64) -> Vec<f64> {
+        let mut b = self.pool_f64.pop().unwrap_or_default();
+        b.clear();
+        b.resize(n, fill);
+        b
+    }
+
+    /// A pooled buffer holding a copy of `src` (a memcpy, no allocation once
+    /// the pool is warm).
+    fn take_copied(&mut self, src: &[f64]) -> Vec<f64> {
+        let mut b = self.pool_f64.pop().unwrap_or_default();
+        b.clear();
+        b.extend_from_slice(src);
+        b
+    }
+
+    /// A pooled (empty) per-net Elmore vector.
+    fn take_elmore(&mut self) -> Vec<Option<Arc<ElmoreNet>>> {
+        let mut b = self.pool_elmore.pop().unwrap_or_default();
+        b.clear();
+        b
+    }
+}
+
 /// Gradients of the timing objective with respect to positions.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct PositionGradients {
     /// ∂f/∂x per pin.
     pub pin_grad_x: Vec<f64>,
@@ -219,20 +398,19 @@ impl Timer {
                 pin_node_in_net[p.index()] = i as u32;
             }
         }
-        let net_pin_caps: Vec<Vec<f64>> = nl
-            .net_ids()
-            .map(|net| {
-                if nl.net(net).is_clock() {
-                    Vec::new()
-                } else {
-                    nl.net(net)
-                        .pins()
-                        .iter()
-                        .map(|&p| binding.pin_cap(nl, p))
-                        .collect()
+        // CSR per-net pin capacitances; clock nets own an empty range (the
+        // ideal clock network is never analyzed).
+        let mut net_cap_offsets = Vec::with_capacity(nl.num_nets() + 1);
+        let mut net_pin_caps = Vec::new();
+        net_cap_offsets.push(0u32);
+        for net in nl.net_ids() {
+            if !nl.net(net).is_clock() {
+                for &p in nl.net(net).pins() {
+                    net_pin_caps.push(binding.pin_cap(nl, p));
                 }
-            })
-            .collect();
+            }
+            net_cap_offsets.push(net_pin_caps.len() as u32);
+        }
 
         let mut input_delay = vec![0.0; nl.num_pins()];
         let mut output_margin = vec![0.0; nl.num_pins()];
@@ -250,6 +428,7 @@ impl Timer {
             }
         }
 
+        let endpoints: Arc<[PinId]> = graph.endpoints().into();
         Ok(Timer {
             binding,
             graph,
@@ -257,8 +436,10 @@ impl Timer {
             clock_period: design.constraints.clock_period,
             pin_node_in_net,
             net_pin_caps,
+            net_cap_offsets,
             input_delay,
             output_margin,
+            endpoints,
         })
     }
 
@@ -282,68 +463,108 @@ impl Timer {
         self.clock_period
     }
 
+    /// Pin capacitances of net `ni` in net pin order (empty for clock nets).
+    #[inline]
+    fn net_caps(&self, ni: usize) -> &[f64] {
+        let lo = self.net_cap_offsets[ni] as usize;
+        let hi = self.net_cap_offsets[ni + 1] as usize;
+        &self.net_pin_caps[lo..hi]
+    }
+
     /// Exact analysis: true max/min aggregation; use for reporting WNS/TNS.
     ///
     /// `nl` must be the same netlist (topology) the timer was built from;
     /// only its connectivity is read — pin positions are baked into `forest`.
     pub fn analyze(&self, nl: &Netlist, forest: &SteinerForest) -> Analysis {
-        self.run_forward(nl, forest, 0.0)
+        let mut scratch = AnalysisScratch::new();
+        self.run_forward_into(nl, forest, 0.0, &mut scratch)
     }
 
     /// Smoothed analysis: LSE aggregation at the configured γ; feed this to
     /// [`Timer::gradients`].
     pub fn analyze_smoothed(&self, nl: &Netlist, forest: &SteinerForest) -> Analysis {
-        self.run_forward(nl, forest, self.config.gamma)
+        let mut scratch = AnalysisScratch::new();
+        self.run_forward_into(nl, forest, self.config.gamma, &mut scratch)
     }
 
-    /// Elmore forward over all nets (stage 2 of Fig. 3), rayon-parallel.
-    fn run_elmore(&self, forest: &SteinerForest) -> Vec<Option<Arc<ElmoreNet>>> {
-        let nets: Vec<usize> = (0..forest.len()).collect();
-        nets.par_iter()
-            .map(|&ni| {
-                let net = NetId::new(ni);
-                forest.tree(net).map(|tree| {
+    /// [`Timer::analyze`] drawing every buffer from `scratch` — the
+    /// allocation-free full-analysis entry point of the placement loop.
+    pub fn analyze_into(
+        &self,
+        nl: &Netlist,
+        forest: &SteinerForest,
+        scratch: &mut AnalysisScratch,
+    ) -> Analysis {
+        self.run_forward_into(nl, forest, 0.0, scratch)
+    }
+
+    /// [`Timer::analyze_smoothed`] drawing every buffer from `scratch`.
+    pub fn analyze_smoothed_into(
+        &self,
+        nl: &Netlist,
+        forest: &SteinerForest,
+        scratch: &mut AnalysisScratch,
+    ) -> Analysis {
+        self.run_forward_into(nl, forest, self.config.gamma, scratch)
+    }
+
+    /// Full forward analysis (stages 2–4 of Fig. 3): Elmore over all nets,
+    /// then a rayon-parallel level-synchronous sweep. The netlist is
+    /// implicit in the forest (pin positions were baked into the trees), but
+    /// arc lookups still need the structural netlist; the caller guarantees
+    /// it matches the one used at construction.
+    fn run_forward_into(
+        &self,
+        nl: &Netlist,
+        forest: &SteinerForest,
+        gamma: f64,
+        scratch: &mut AnalysisScratch,
+    ) -> Analysis {
+        let nl_pins = self.pin_node_in_net.len();
+
+        // Elmore forward over all nets (stage 2), rayon-parallel.
+        let mut elmore = scratch.take_elmore();
+        (0..forest.len())
+            .into_par_iter()
+            .map(|ni| {
+                forest.tree(NetId::new(ni)).map(|tree| {
                     Arc::new(ElmoreNet::forward(
                         tree,
-                        &self.net_pin_caps[ni],
+                        self.net_caps(ni),
                         self.binding.wire_res_per_um,
                         self.binding.wire_cap_per_um,
                     ))
                 })
             })
-            .collect()
-    }
+            .collect_into_vec(&mut elmore);
 
-    /// Needed by `analyze*`: the netlist is implicit in the forest (pin
-    /// positions were baked into the trees), but arc lookups still need the
-    /// structural netlist; the caller guarantees it matches the one used at
-    /// construction.
-    fn run_forward(&self, nl: &Netlist, forest: &SteinerForest, gamma: f64) -> Analysis {
-        let nl_pins = self.pin_node_in_net.len();
-        let elmore = self.run_elmore(forest);
-        let mut at = vec![0.0f64; nl_pins];
-        let mut at_early = vec![0.0f64; nl_pins];
-        let mut slew = vec![self.config.input_slew; nl_pins];
+        let mut at = scratch.take_filled(nl_pins, 0.0);
+        let mut at_early = scratch.take_filled(nl_pins, 0.0);
+        let mut slew = scratch.take_filled(nl_pins, self.config.input_slew);
 
         // This borrow-free closure set mirrors the GPU kernels: every level is
         // a batch whose pins read only lower levels.
         for level in self.graph.levels() {
-            let results: Vec<(usize, f64, f64, f64)> = level
+            level
                 .par_iter()
                 .map(|&p| {
                     let (a, ae, s) = self.eval_pin(nl, p, &elmore, &at, &at_early, &slew, gamma);
-                    (p.index(), a, ae, s)
+                    Some((p.index(), a, ae, s))
                 })
-                .collect();
-            for (i, a, ae, s) in results {
+                .collect_into_vec(&mut scratch.level_results);
+            for r in scratch.level_results.iter().flatten() {
+                let &(i, a, ae, s) = r;
                 at[i] = a;
                 at_early[i] = ae;
                 slew[i] = s;
             }
         }
 
-        let (slack, hold_slack) = self.compute_slacks(nl, &at, &at_early, &slew);
-        let rat = self.compute_rat(nl, &elmore, &at, &slew, &slack);
+        let mut slack = scratch.take_filled(nl_pins, f64::INFINITY);
+        let mut hold_slack = scratch.take_filled(nl_pins, f64::INFINITY);
+        self.compute_slacks_into(nl, &at, &at_early, &slew, &mut slack, &mut hold_slack);
+        let mut rat = scratch.take_filled(nl_pins, f64::INFINITY);
+        self.compute_rat_into(nl, &elmore, &at, &slew, &slack, &mut rat);
 
         Analysis {
             at,
@@ -354,21 +575,21 @@ impl Timer {
             rat,
             gamma,
             elmore,
-            endpoints: self.graph.endpoints().to_vec(),
+            endpoints: self.endpoints.clone(),
         }
     }
 
-    /// Setup/hold slack computation at the endpoints (stage 4 of Fig. 3).
-    fn compute_slacks(
+    /// Setup/hold slack computation at the endpoints (stage 4 of Fig. 3);
+    /// `slack`/`hold_slack` arrive pre-filled with `f64::INFINITY`.
+    fn compute_slacks_into(
         &self,
         nl: &Netlist,
         at: &[f64],
         at_early: &[f64],
         slew: &[f64],
-    ) -> (Vec<f64>, Vec<f64>) {
-        let nl_pins = at.len();
-        let mut slack = vec![f64::INFINITY; nl_pins];
-        let mut hold_slack = vec![f64::INFINITY; nl_pins];
+        slack: &mut [f64],
+        hold_slack: &mut [f64],
+    ) {
         for &p in self.graph.endpoints() {
             let i = p.index();
             match self.graph.role(p) {
@@ -392,26 +613,25 @@ impl Timer {
                 _ => unreachable!("endpoints are register data pins or POs"),
             }
         }
-        (slack, hold_slack)
     }
 
     /// Backward RAT propagation (min over fanout requirements), exact arc
     /// delays; gives every pin a slack = RAT − AT for reporting and for
-    /// net-criticality-based weighting.
-    fn compute_rat(
+    /// net-criticality-based weighting. `rat` arrives pre-filled with
+    /// `f64::INFINITY`.
+    fn compute_rat_into(
         &self,
         nl: &Netlist,
         elmore: &[Option<Arc<ElmoreNet>>],
         at: &[f64],
         slew: &[f64],
         slack: &[f64],
-    ) -> Vec<f64> {
-        let nl_pins = at.len();
-        let mut rat = vec![f64::INFINITY; nl_pins];
+        rat: &mut [f64],
+    ) {
         for &p in self.graph.endpoints() {
             rat[p.index()] = at[p.index()] + slack[p.index()];
         }
-        for level in self.graph.levels().iter().rev() {
+        for level in self.graph.levels().rev() {
             for &p in level {
                 let i = p.index();
                 if !rat[i].is_finite() {
@@ -441,16 +661,18 @@ impl Timer {
                             .net()
                             .and_then(|n| elmore[n.index()].as_ref())
                             .map_or(0.0, |e| e.root_load());
-                        for &(arc_idx, from_cp) in &cb.delay_arcs[pin.class_pin().index()] {
-                            let from = cell.pins()[from_cp];
+                        for &(arc_idx, from_cp) in cb.delay_arcs(pin.class_pin().index()) {
+                            let from = cell.pins()[from_cp as usize];
                             if matches!(
                                 self.graph.role(from),
                                 PinRole::Unconnected | PinRole::Clock
                             ) {
                                 continue;
                             }
-                            let ev =
-                                self.binding.arc(arc_idx).eval(slew[from.index()], load);
+                            let ev = self
+                                .binding
+                                .arc(arc_idx as usize)
+                                .eval(slew[from.index()], load);
                             let cand = rat[i] - ev.delay;
                             if cand < rat[from.index()] {
                                 rat[from.index()] = cand;
@@ -461,12 +683,12 @@ impl Timer {
                 }
             }
         }
-        rat
     }
 
     /// Incremental re-analysis after moving a set of cells (the workload of
     /// the ICCAD-2015 *incremental* timing-driven placement contest the
-    /// paper's benchmarks come from).
+    /// paper's benchmarks come from). Allocates its result vectors fresh;
+    /// prefer [`Timer::analyze_incremental_into`] in a loop.
     ///
     /// Only the Elmore state of nets incident to `moved` cells is recomputed,
     /// and only pins in the transitive fan-out of those nets are
@@ -494,110 +716,149 @@ impl Timer {
         nl: &Netlist,
         forest: &SteinerForest,
         prev: &Analysis,
-        moved: &[dtp_netlist::CellId],
+        moved: &[CellId],
         recompute_rat: bool,
+    ) -> Analysis {
+        let mut scratch = AnalysisScratch::new();
+        self.analyze_incremental_into(nl, forest, prev, moved, recompute_rat, &mut scratch)
+    }
+
+    /// [`Timer::analyze_incremental`] drawing every buffer from `scratch`.
+    ///
+    /// After consuming the result, hand the *previous* analysis back via
+    /// [`AnalysisScratch::recycle`]; the two analyses then ping-pong through
+    /// the pool and the steady-state loop performs no full-vector
+    /// allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prev` was produced for a different netlist (length
+    /// mismatch).
+    pub fn analyze_incremental_into(
+        &self,
+        nl: &Netlist,
+        forest: &SteinerForest,
+        prev: &Analysis,
+        moved: &[CellId],
+        recompute_rat: bool,
+        scratch: &mut AnalysisScratch,
     ) -> Analysis {
         let nl_pins = self.pin_node_in_net.len();
         assert_eq!(prev.at.len(), nl_pins, "analysis from a different netlist");
         let gamma = prev.gamma;
 
         // 1. Dirty nets: every non-clock net touching a moved cell.
-        let mut net_dirty = vec![false; forest.len()];
+        scratch.net_dirty.clear();
+        scratch.net_dirty.resize(forest.len(), false);
+        scratch.dirty_nets.clear();
         for &c in moved {
             for &p in nl.cell(c).pins() {
                 if let Some(net) = nl.pin(p).net() {
-                    if !nl.net(net).is_clock() {
-                        net_dirty[net.index()] = true;
+                    let ni = net.index();
+                    if !scratch.net_dirty[ni] && !nl.net(net).is_clock() {
+                        scratch.net_dirty[ni] = true;
+                        scratch.dirty_nets.push(ni);
                     }
                 }
             }
         }
 
-        // 2. Elmore: recompute dirty nets, share (Arc) the rest.
-        let elmore: Vec<Option<Arc<ElmoreNet>>> = (0..forest.len())
-            .map(|ni| {
-                if net_dirty[ni] {
-                    forest.tree(NetId::new(ni)).map(|tree| {
-                        Arc::new(ElmoreNet::forward(
-                            tree,
-                            &self.net_pin_caps[ni],
-                            self.binding.wire_res_per_um,
-                            self.binding.wire_cap_per_um,
-                        ))
-                    })
-                } else {
-                    prev.elmore[ni].clone()
-                }
+        // 2. Elmore: share (Arc) every clean net, recompute the dirty ones in
+        //    parallel.
+        let mut elmore = scratch.take_elmore();
+        elmore.extend(prev.elmore.iter().cloned());
+        scratch
+            .dirty_nets
+            .par_iter()
+            .map(|&ni| {
+                let e = forest.tree(NetId::new(ni)).map(|tree| {
+                    Arc::new(ElmoreNet::forward(
+                        tree,
+                        self.net_caps(ni),
+                        self.binding.wire_res_per_um,
+                        self.binding.wire_cap_per_um,
+                    ))
+                });
+                (ni, e)
             })
-            .collect();
+            .collect_into_vec(&mut scratch.rebuilt);
+        for (ni, e) in scratch.rebuilt.drain(..) {
+            elmore[ni] = e;
+        }
 
         // 3. Seed dirty pins: drivers (their load changed) and sinks (their
         //    net delay changed) of dirty nets.
-        let mut dirty = vec![false; nl_pins];
-        for ni in 0..forest.len() {
-            if !net_dirty[ni] {
-                continue;
-            }
+        scratch.pin_dirty.clear();
+        scratch.pin_dirty.resize(nl_pins, false);
+        for &ni in &scratch.dirty_nets {
             for &p in nl.net(NetId::new(ni)).pins() {
-                dirty[p.index()] = true;
+                scratch.pin_dirty[p.index()] = true;
             }
         }
 
-        // 4. Forward sweep: re-evaluate a pin iff it is seeded or any of its
-        //    fan-ins is dirty; otherwise copy from `prev`.
-        let mut at = prev.at.clone();
-        let mut at_early = prev.at_early.clone();
-        let mut slew = prev.slew.clone();
+        // 4. Forward frontier sweep: re-evaluate a pin iff it is seeded or
+        //    any of its fan-ins is dirty; otherwise keep the value copied
+        //    from `prev`. Dirtiness is marked in place, which is safe because
+        //    a pin's predecessors all sit on strictly lower levels.
+        let mut at = scratch.take_copied(&prev.at);
+        let mut at_early = scratch.take_copied(&prev.at_early);
+        let mut slew = scratch.take_copied(&prev.slew);
         for level in self.graph.levels() {
-            // Mark propagated dirtiness first (cheap pass, no arc evals).
-            let newly: Vec<usize> = level
-                .iter()
-                .filter_map(|&p| {
-                    let i = p.index();
-                    if dirty[i] {
-                        return Some(i);
+            for &p in level {
+                let i = p.index();
+                if scratch.pin_dirty[i] {
+                    continue;
+                }
+                let pred_dirty = match self.graph.role(p) {
+                    PinRole::CombInput | PinRole::RegisterData | PinRole::PrimaryOutput => {
+                        let net = nl.pin(p).net().expect("active sinks are connected");
+                        scratch.pin_dirty[nl.net(net).pins()[0].index()]
                     }
-                    let pred_dirty = match self.graph.role(p) {
-                        PinRole::CombInput | PinRole::RegisterData | PinRole::PrimaryOutput => {
-                            let net = nl.pin(p).net().expect("active sinks are connected");
-                            dirty[nl.net(net).pins()[0].index()]
-                        }
-                        PinRole::CombOutput => {
-                            let pin = nl.pin(p);
-                            let cell = nl.cell(pin.cell());
-                            let cb = &self.binding.classes[cell.class().index()];
-                            cb.delay_arcs[pin.class_pin().index()]
-                                .iter()
-                                .any(|&(_, from_cp)| dirty[cell.pins()[from_cp].index()])
-                        }
-                        _ => false,
-                    };
-                    pred_dirty.then_some(i)
-                })
-                .collect();
-            for i in &newly {
-                dirty[*i] = true;
+                    PinRole::CombOutput => {
+                        let pin = nl.pin(p);
+                        let cell = nl.cell(pin.cell());
+                        let cb = &self.binding.classes[cell.class().index()];
+                        cb.delay_arcs(pin.class_pin().index())
+                            .iter()
+                            .any(|&(_, from_cp)| {
+                                scratch.pin_dirty[cell.pins()[from_cp as usize].index()]
+                            })
+                    }
+                    _ => false,
+                };
+                if pred_dirty {
+                    scratch.pin_dirty[i] = true;
+                }
             }
-            let results: Vec<(usize, f64, f64, f64)> = level
+            let dirty = &scratch.pin_dirty;
+            level
                 .par_iter()
-                .filter(|p| dirty[p.index()])
                 .map(|&p| {
+                    let i = p.index();
+                    if !dirty[i] {
+                        return None;
+                    }
                     let (a, ae, s) = self.eval_pin(nl, p, &elmore, &at, &at_early, &slew, gamma);
-                    (p.index(), a, ae, s)
+                    Some((i, a, ae, s))
                 })
-                .collect();
-            for (i, a, ae, s) in results {
+                .collect_into_vec(&mut scratch.level_results);
+            for r in scratch.level_results.iter().flatten() {
+                let &(i, a, ae, s) = r;
                 at[i] = a;
                 at_early[i] = ae;
                 slew[i] = s;
             }
         }
 
-        let (slack, hold_slack) = self.compute_slacks(nl, &at, &at_early, &slew);
+        let mut slack = scratch.take_filled(nl_pins, f64::INFINITY);
+        let mut hold_slack = scratch.take_filled(nl_pins, f64::INFINITY);
+        self.compute_slacks_into(nl, &at, &at_early, &slew, &mut slack, &mut hold_slack);
         let rat = if recompute_rat {
-            self.compute_rat(nl, &elmore, &at, &slew, &slack)
+            let mut rat = scratch.take_filled(nl_pins, f64::INFINITY);
+            self.compute_rat_into(nl, &elmore, &at, &slew, &slack, &mut rat);
+            rat
         } else {
-            prev.rat.clone()
+            scratch.take_copied(&prev.rat)
         };
         Analysis {
             at,
@@ -608,7 +869,7 @@ impl Timer {
             rat,
             gamma,
             elmore,
-            endpoints: self.graph.endpoints().to_vec(),
+            endpoints: self.endpoints.clone(),
         }
     }
 
@@ -639,19 +900,26 @@ impl Timer {
                     .net()
                     .and_then(|n| elmore[n.index()].as_ref())
                     .map_or(0.0, |e| e.root_load());
-                let arcs = &cb.delay_arcs[pin.class_pin().index()];
+                let arcs = cb.delay_arcs(pin.class_pin().index());
                 if arcs.is_empty() {
-                    return (self.config.clock_arrival, self.config.clock_arrival, self.config.input_slew);
+                    return (
+                        self.config.clock_arrival,
+                        self.config.clock_arrival,
+                        self.config.input_slew,
+                    );
                 }
-                let mut a_vals = Vec::with_capacity(arcs.len());
-                let mut s_vals = Vec::with_capacity(arcs.len());
+                let mut a_vals = F64Buf::<MAX_INLINE_ARCS>::new();
+                let mut s_vals = F64Buf::<MAX_INLINE_ARCS>::new();
                 for &(arc_idx, _) in arcs {
-                    let e = self.binding.arc(arc_idx).eval(self.config.clock_slew, load);
+                    let e = self
+                        .binding
+                        .arc(arc_idx as usize)
+                        .eval(self.config.clock_slew, load);
                     a_vals.push(self.config.clock_arrival + e.delay);
                     s_vals.push(e.slew);
                 }
-                let (a, s) = aggregate(&a_vals, &s_vals, gamma);
-                let ae = a_vals.iter().cloned().fold(f64::INFINITY, f64::min);
+                let (a, s) = aggregate(a_vals.as_slice(), s_vals.as_slice(), gamma);
+                let ae = a_vals.as_slice().iter().cloned().fold(f64::INFINITY, f64::min);
                 (a, ae, s)
             }
             PinRole::CombInput | PinRole::RegisterData | PinRole::PrimaryOutput => {
@@ -679,15 +947,18 @@ impl Timer {
                     .net()
                     .and_then(|n| elmore[n.index()].as_ref())
                     .map_or(0.0, |e| e.root_load());
-                let mut a_vals = Vec::new();
-                let mut ae_vals = Vec::new();
-                let mut s_vals = Vec::new();
-                for &(arc_idx, from_cp) in &cb.delay_arcs[pin.class_pin().index()] {
-                    let from = cell.pins()[from_cp];
+                let mut a_vals = F64Buf::<MAX_INLINE_ARCS>::new();
+                let mut ae_vals = F64Buf::<MAX_INLINE_ARCS>::new();
+                let mut s_vals = F64Buf::<MAX_INLINE_ARCS>::new();
+                for &(arc_idx, from_cp) in cb.delay_arcs(pin.class_pin().index()) {
+                    let from = cell.pins()[from_cp as usize];
                     if matches!(self.graph.role(from), PinRole::Unconnected | PinRole::Clock) {
                         continue;
                     }
-                    let e = self.binding.arc(arc_idx).eval(slew[from.index()], load);
+                    let e = self
+                        .binding
+                        .arc(arc_idx as usize)
+                        .eval(slew[from.index()], load);
                     a_vals.push(at[from.index()] + e.delay);
                     ae_vals.push(at_early[from.index()] + e.delay);
                     s_vals.push(e.slew);
@@ -695,8 +966,8 @@ impl Timer {
                 if a_vals.is_empty() {
                     return (0.0, 0.0, self.config.input_slew);
                 }
-                let (a, s) = aggregate(&a_vals, &s_vals, gamma);
-                let ae = ae_vals.iter().cloned().fold(f64::INFINITY, f64::min);
+                let (a, s) = aggregate(a_vals.as_slice(), s_vals.as_slice(), gamma);
+                let ae = ae_vals.as_slice().iter().cloned().fold(f64::INFINITY, f64::min);
                 (a, ae, s)
             }
             PinRole::Clock | PinRole::Unconnected => (0.0, 0.0, self.config.input_slew),
@@ -705,6 +976,8 @@ impl Timer {
 
     /// Backward sweep (stage 5 of Fig. 3): gradient of
     /// `f = −t1·TNSγ − t2·WNSγ` with respect to all pin/cell positions.
+    /// Allocates the result fresh; prefer [`Timer::gradients_into`] in a
+    /// loop.
     ///
     /// `analysis` should come from [`Timer::analyze_smoothed`] (with an exact
     /// analysis the LSE weights degenerate to hard argmax subgradients,
@@ -723,28 +996,69 @@ impl Timer {
         t1: f64,
         t2: f64,
     ) -> PositionGradients {
+        let mut scratch = AnalysisScratch::new();
+        let mut out = PositionGradients::default();
+        self.gradients_into(nl, analysis, forest, t1, t2, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`Timer::gradients`] writing into a caller-owned result and drawing
+    /// all intermediate buffers (adjoints, Elmore seeds, softmax weights)
+    /// from `scratch` — the incremental-aware gradient entry point: reuse
+    /// one `scratch`/`out` pair across iterations and nothing pin- or
+    /// net-sized is reallocated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the forest does not match the analysis (different net
+    /// count).
+    #[allow(clippy::too_many_arguments)]
+    pub fn gradients_into(
+        &self,
+        nl: &Netlist,
+        analysis: &Analysis,
+        forest: &SteinerForest,
+        t1: f64,
+        t2: f64,
+        scratch: &mut AnalysisScratch,
+        out: &mut PositionGradients,
+    ) {
         let n_pins = analysis.at.len();
         assert_eq!(forest.len(), analysis.elmore.len(), "forest/analysis mismatch");
         let gamma = if analysis.gamma > 0.0 { analysis.gamma } else { self.config.gamma };
 
+        let AnalysisScratch {
+            g_at,
+            g_slew,
+            seeds,
+            endpoint_slacks,
+            endpoint_weights,
+            arc_inputs,
+            arc_evals,
+            net_grads,
+            ..
+        } = scratch;
+        g_at.clear();
+        g_at.resize(n_pins, 0.0);
+        g_slew.clear();
+        g_slew.resize(n_pins, 0.0);
+
         // --- endpoint seeds ---------------------------------------------------
-        let slacks: Vec<f64> = analysis
-            .endpoints
-            .iter()
-            .map(|&p| analysis.slack[p.index()])
-            .collect();
+        endpoint_slacks.clear();
+        endpoint_slacks.extend(analysis.endpoints.iter().map(|&p| analysis.slack[p.index()]));
         let objective;
-        let mut g_at = vec![0.0f64; n_pins];
-        let mut g_slew = vec![0.0f64; n_pins];
-        if slacks.is_empty() {
+        if endpoint_slacks.is_empty() {
             objective = 0.0;
         } else {
-            let tns_g = slacks.iter().map(|&s| smooth_neg(s, gamma)).sum::<f64>();
-            let (wns_g, wns_w) = lse_min_weights(&slacks, gamma);
+            let tns_g = endpoint_slacks.iter().map(|&s| smooth_neg(s, gamma)).sum::<f64>();
+            endpoint_weights.clear();
+            endpoint_weights.resize(endpoint_slacks.len(), 0.0);
+            let wns_g = lse_min_weights_into(endpoint_slacks, gamma, endpoint_weights);
             objective = -t1 * tns_g - t2 * wns_g;
             for (k, &p) in analysis.endpoints.iter().enumerate() {
                 let i = p.index();
-                let dslack = -t1 * smooth_neg_grad(slacks[k], gamma) - t2 * wns_w[k];
+                let dslack =
+                    -t1 * smooth_neg_grad(endpoint_slacks[k], gamma) - t2 * endpoint_weights[k];
                 // slack = rat − at  ⇒  ∂f/∂at = −∂f/∂slack.
                 g_at[i] += -dslack;
                 // Register setup margin depends on the data slew:
@@ -763,15 +1077,21 @@ impl Timer {
         }
 
         // --- reverse level sweep (Eqs. 10, 12) --------------------------------
-        let mut seeds: Vec<Option<ElmoreSeeds>> = (0..forest.len())
-            .map(|ni| {
-                forest
-                    .tree(NetId::new(ni))
-                    .map(|t| ElmoreSeeds::zeros(t.num_nodes()))
-            })
-            .collect();
+        if seeds.len() != forest.len() {
+            seeds.clear();
+            seeds.resize_with(forest.len(), || None);
+        }
+        for (ni, slot) in seeds.iter_mut().enumerate() {
+            match forest.tree(NetId::new(ni)) {
+                Some(t) => match slot {
+                    Some(sd) => sd.reset(t.num_nodes()),
+                    slot => *slot = Some(ElmoreSeeds::zeros(t.num_nodes())),
+                },
+                None => *slot = None,
+            }
+        }
 
-        for level in self.graph.levels().iter().rev() {
+        for level in self.graph.levels().rev() {
             for &p in level {
                 let i = p.index();
                 if g_at[i] == 0.0 && g_slew[i] == 0.0 {
@@ -808,7 +1128,7 @@ impl Timer {
                     }
                     PinRole::CombOutput => {
                         self.backprop_cell_output(
-                            nl, p, analysis, gamma, &mut g_at, &mut g_slew, &mut seeds,
+                            nl, p, analysis, gamma, g_at, g_slew, seeds, arc_inputs,
                         );
                     }
                     _ => {}
@@ -831,24 +1151,28 @@ impl Timer {
             let Some(net) = pin.net() else { continue };
             let Some(e) = analysis.elmore[net.index()].as_ref() else { continue };
             let load = e.root_load();
-            let arcs = &cb.delay_arcs[pin.class_pin().index()];
+            let arcs = cb.delay_arcs(pin.class_pin().index());
             if arcs.is_empty() {
                 continue;
             }
             // Weights over the (usually single) CK→Q arcs.
-            let evals: Vec<_> = arcs
-                .iter()
-                .map(|&(a, _)| self.binding.arc(a).eval(self.config.clock_slew, load))
-                .collect();
-            let a_vals: Vec<f64> =
-                evals.iter().map(|e| self.config.clock_arrival + e.delay).collect();
-            let s_vals: Vec<f64> = evals.iter().map(|e| e.slew).collect();
-            let wa = weights_of(&a_vals, gamma);
-            let ws = weights_of(&s_vals, gamma);
+            arc_evals.clear();
+            let mut a_vals = F64Buf::<MAX_INLINE_ARCS>::new();
+            let mut s_vals = F64Buf::<MAX_INLINE_ARCS>::new();
+            for &(a, _) in arcs {
+                let ev = self.binding.arc(a as usize).eval(self.config.clock_slew, load);
+                arc_evals.push(ev);
+                a_vals.push(self.config.clock_arrival + ev.delay);
+                s_vals.push(ev.slew);
+            }
+            let mut wa = F64Buf::<MAX_INLINE_ARCS>::new();
+            let mut ws = F64Buf::<MAX_INLINE_ARCS>::new();
+            weights_into(a_vals.as_slice(), gamma, &mut wa);
+            weights_into(s_vals.as_slice(), gamma, &mut ws);
             let mut g_load = 0.0;
-            for (k, ev) in evals.iter().enumerate() {
-                g_load += ev.d_delay_d_load * wa[k] * g_at[i];
-                g_load += ev.d_slew_d_load * ws[k] * g_slew[i];
+            for (k, ev) in arc_evals.iter().enumerate() {
+                g_load += ev.d_delay_d_load * wa.as_slice()[k] * g_at[i];
+                g_load += ev.d_slew_d_load * ws.as_slice()[k] * g_slew[i];
             }
             seeds[net.index()]
                 .as_mut()
@@ -857,9 +1181,10 @@ impl Timer {
         }
 
         // --- Elmore backward per net (Eq. 8), rayon-parallel -------------------
-        let per_net: Vec<(usize, Vec<(f64, f64)>)> = (0..forest.len())
+        let seeds: &[Option<ElmoreSeeds>] = seeds;
+        (0..forest.len())
             .into_par_iter()
-            .filter_map(|ni| {
+            .map(|ni| {
                 let tree = forest.tree(NetId::new(ni))?;
                 let e = analysis.elmore[ni].as_ref()?;
                 let sd = seeds[ni].as_ref()?;
@@ -873,31 +1198,36 @@ impl Timer {
                 let (gx, gy) = e.backward(tree, sd);
                 Some((ni, tree.scatter_gradient(&gx, &gy)))
             })
-            .collect();
+            .collect_into_vec(net_grads);
 
-        let mut pin_grad_x = vec![0.0f64; n_pins];
-        let mut pin_grad_y = vec![0.0f64; n_pins];
-        for (ni, per_pin) in per_net {
-            let pins = nl.net(NetId::new(ni)).pins();
+        for buf in [&mut out.pin_grad_x, &mut out.pin_grad_y] {
+            buf.clear();
+            buf.resize(n_pins, 0.0);
+        }
+        for item in net_grads.iter().flatten() {
+            let (ni, per_pin) = item;
+            let pins = nl.net(NetId::new(*ni)).pins();
             for (k, &(gx, gy)) in per_pin.iter().enumerate() {
-                pin_grad_x[pins[k].index()] += gx;
-                pin_grad_y[pins[k].index()] += gy;
+                out.pin_grad_x[pins[k].index()] += gx;
+                out.pin_grad_y[pins[k].index()] += gy;
             }
         }
 
-        let mut cell_grad_x = vec![0.0f64; nl.num_cells()];
-        let mut cell_grad_y = vec![0.0f64; nl.num_cells()];
+        for buf in [&mut out.cell_grad_x, &mut out.cell_grad_y] {
+            buf.clear();
+            buf.resize(nl.num_cells(), 0.0);
+        }
         for p in nl.pin_ids() {
             let c = nl.pin(p).cell().index();
-            cell_grad_x[c] += pin_grad_x[p.index()];
-            cell_grad_y[c] += pin_grad_y[p.index()];
+            out.cell_grad_x[c] += out.pin_grad_x[p.index()];
+            out.cell_grad_y[c] += out.pin_grad_y[p.index()];
         }
-
-        PositionGradients { pin_grad_x, pin_grad_y, cell_grad_x, cell_grad_y, objective }
+        out.objective = objective;
     }
 
     /// Eq. (12): distributes a combinational output pin's gradient to its
-    /// fan-in pins and to the load of its own net.
+    /// fan-in pins and to the load of its own net. `inputs` is a reusable
+    /// staging buffer for the fan-in arc evaluations.
     #[allow(clippy::too_many_arguments)]
     fn backprop_cell_output(
         &self,
@@ -908,6 +1238,7 @@ impl Timer {
         g_at: &mut [f64],
         g_slew: &mut [f64],
         seeds: &mut [Option<ElmoreSeeds>],
+        inputs: &mut Vec<(PinId, ArcEval)>,
     ) {
         let i = p.index();
         let pin = nl.pin(p);
@@ -917,30 +1248,36 @@ impl Timer {
         let load = net
             .and_then(|n| analysis.elmore[n.index()].as_ref())
             .map_or(0.0, |e| e.root_load());
-        let mut inputs = Vec::new();
-        for &(arc_idx, from_cp) in &cb.delay_arcs[pin.class_pin().index()] {
-            let from = cell.pins()[from_cp];
+        inputs.clear();
+        for &(arc_idx, from_cp) in cb.delay_arcs(pin.class_pin().index()) {
+            let from = cell.pins()[from_cp as usize];
             if matches!(self.graph.role(from), PinRole::Unconnected | PinRole::Clock) {
                 continue;
             }
-            let ev = self.binding.arc(arc_idx).eval(analysis.slew[from.index()], load);
+            let ev = self
+                .binding
+                .arc(arc_idx as usize)
+                .eval(analysis.slew[from.index()], load);
             inputs.push((from, ev));
         }
         if inputs.is_empty() {
             return;
         }
-        let a_vals: Vec<f64> = inputs
-            .iter()
-            .map(|(from, ev)| analysis.at[from.index()] + ev.delay)
-            .collect();
-        let s_vals: Vec<f64> = inputs.iter().map(|(_, ev)| ev.slew).collect();
-        let wa = weights_of(&a_vals, gamma);
-        let ws = weights_of(&s_vals, gamma);
+        let mut a_vals = F64Buf::<MAX_INLINE_ARCS>::new();
+        let mut s_vals = F64Buf::<MAX_INLINE_ARCS>::new();
+        for (from, ev) in inputs.iter() {
+            a_vals.push(analysis.at[from.index()] + ev.delay);
+            s_vals.push(ev.slew);
+        }
+        let mut wa = F64Buf::<MAX_INLINE_ARCS>::new();
+        let mut ws = F64Buf::<MAX_INLINE_ARCS>::new();
+        weights_into(a_vals.as_slice(), gamma, &mut wa);
+        weights_into(s_vals.as_slice(), gamma, &mut ws);
         let mut g_load = 0.0;
         for (k, (from, ev)) in inputs.iter().enumerate() {
-            let g_delay_k = wa[k] * g_at[i]; // Eq. 12b
-            let g_slew_k = ws[k] * g_slew[i]; // Eq. 12c
-            g_at[from.index()] += wa[k] * g_at[i]; // Eq. 12a
+            let g_delay_k = wa.as_slice()[k] * g_at[i]; // Eq. 12b
+            let g_slew_k = ws.as_slice()[k] * g_slew[i]; // Eq. 12c
+            g_at[from.index()] += wa.as_slice()[k] * g_at[i]; // Eq. 12a
             g_slew[from.index()] +=
                 ev.d_delay_d_slew * g_delay_k + ev.d_slew_d_slew * g_slew_k; // Eq. 12d
             g_load += ev.d_delay_d_load * g_delay_k + ev.d_slew_d_load * g_slew_k;
@@ -952,24 +1289,22 @@ impl Timer {
             }
         }
     }
-
 }
 
 /// LSE softmax weights, or hard one-hot argmax weights when `gamma == 0`
-/// (the exact-mode subgradient).
-fn weights_of(vals: &[f64], gamma: f64) -> Vec<f64> {
+/// (the exact-mode subgradient), written into `out` without allocating.
+fn weights_into(vals: &[f64], gamma: f64, out: &mut F64Buf<MAX_INLINE_ARCS>) {
+    out.resize_zeroed(vals.len());
     if gamma > 0.0 {
-        lse_max_weights(vals, gamma).1
+        lse_max_weights_into(vals, gamma, out.as_mut_slice());
     } else {
-        let mut w = vec![0.0; vals.len()];
         let mut best = 0usize;
         for (i, &v) in vals.iter().enumerate() {
             if v > vals[best] {
                 best = i;
             }
         }
-        w[best] = 1.0;
-        w
+        out.as_mut_slice()[best] = 1.0;
     }
 }
 

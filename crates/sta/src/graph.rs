@@ -46,13 +46,20 @@ impl PinRole {
 }
 
 /// The levelized timing graph.
+///
+/// Levels are stored in CSR form (one flat pin array plus per-level
+/// offsets) so a whole forward or backward sweep touches two contiguous
+/// allocations instead of one heap block per level.
 #[derive(Clone, Debug)]
 pub struct TimingGraph {
     role: Vec<PinRole>,
     level: Vec<u32>,
-    /// Pins of each level, ascending; only pins that participate in
-    /// propagation appear.
-    levels: Vec<Vec<PinId>>,
+    /// Flat pin array, grouped by ascending level; only pins that
+    /// participate in propagation appear.
+    level_pins: Vec<PinId>,
+    /// CSR offsets into `level_pins`: level `l` spans
+    /// `level_pins[level_offsets[l]..level_offsets[l + 1]]`.
+    level_offsets: Vec<u32>,
     endpoints: Vec<PinId>,
 }
 
@@ -122,8 +129,8 @@ impl TimingGraph {
             let pin = nl.pin(p);
             let cell = nl.cell(pin.cell());
             let cb = &binding.classes[cell.class().index()];
-            for &(_, from_cp) in &cb.delay_arcs[pin.class_pin().index()] {
-                let from_pin = cell.pins()[from_cp];
+            for &(_, from_cp) in cb.delay_arcs(pin.class_pin().index()) {
+                let from_pin = cell.pins()[from_cp as usize];
                 if active(role[from_pin.index()]) {
                     succ[from_pin.index()].push(p.index() as u32);
                     indeg[p.index()] += 1;
@@ -172,10 +179,23 @@ impl TimingGraph {
             .map(|i| level[i])
             .max()
             .unwrap_or(0) as usize;
-        let mut levels: Vec<Vec<PinId>> = vec![Vec::new(); max_level + 1];
+        // Counting sort into CSR: count per level, prefix-sum, scatter.
+        let mut level_offsets = vec![0u32; max_level + 2];
         for i in 0..n {
             if active(role[i]) {
-                levels[level[i] as usize].push(PinId::new(i));
+                level_offsets[level[i] as usize + 1] += 1;
+            }
+        }
+        for l in 0..=max_level {
+            level_offsets[l + 1] += level_offsets[l];
+        }
+        let mut cursor: Vec<u32> = level_offsets[..=max_level].to_vec();
+        let mut level_pins = vec![PinId::new(0); level_offsets[max_level + 1] as usize];
+        for i in 0..n {
+            if active(role[i]) {
+                let l = level[i] as usize;
+                level_pins[cursor[l] as usize] = PinId::new(i);
+                cursor[l] += 1;
             }
         }
         let endpoints: Vec<PinId> = nl
@@ -183,7 +203,7 @@ impl TimingGraph {
             .filter(|&p| role[p.index()].is_endpoint())
             .collect();
 
-        Ok(TimingGraph { role, level, levels, endpoints })
+        Ok(TimingGraph { role, level, level_pins, level_offsets, endpoints })
     }
 
     /// Role of a pin.
@@ -198,14 +218,31 @@ impl TimingGraph {
         self.level[pin.index()]
     }
 
-    /// Pins grouped by ascending level.
-    pub fn levels(&self) -> &[Vec<PinId>] {
-        &self.levels
+    /// Pins of level `l` as a contiguous slice of the CSR pin array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= depth()`.
+    #[inline]
+    pub fn level_pins(&self, l: usize) -> &[PinId] {
+        let lo = self.level_offsets[l] as usize;
+        let hi = self.level_offsets[l + 1] as usize;
+        &self.level_pins[lo..hi]
+    }
+
+    /// Pins grouped by ascending level: an iterator of per-level slices into
+    /// the flat CSR array (no per-level allocation).
+    pub fn levels(
+        &self,
+    ) -> impl DoubleEndedIterator<Item = &[PinId]> + ExactSizeIterator + '_ {
+        self.level_offsets
+            .windows(2)
+            .map(move |w| &self.level_pins[w[0] as usize..w[1] as usize])
     }
 
     /// Number of levels (the depth of the "neural network", §3.1).
     pub fn depth(&self) -> usize {
-        self.levels.len()
+        self.level_offsets.len() - 1
     }
 
     /// All capture endpoints (register data pins and primary outputs).
@@ -255,8 +292,8 @@ mod tests {
             let pin = d.netlist.pin(p);
             let cell = d.netlist.cell(pin.cell());
             let cb = &b.classes[cell.class().index()];
-            for &(_, from_cp) in &cb.delay_arcs[pin.class_pin().index()] {
-                let from = cell.pins()[from_cp];
+            for &(_, from_cp) in cb.delay_arcs(pin.class_pin().index()) {
+                let from = cell.pins()[from_cp as usize];
                 if !matches!(g.role(from), PinRole::Clock | PinRole::Unconnected) {
                     assert!(g.level(p) > g.level(from));
                 }

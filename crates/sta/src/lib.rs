@@ -17,6 +17,22 @@
 //! the paper's GPU kernels (level-synchronous batches, one thread per pin /
 //! per net) — see `DESIGN.md` for the GPU→CPU substitution rationale.
 //!
+//! # Incremental analysis and the allocation-free hot path
+//!
+//! Placement moves only a small fraction of cells per iteration, so the
+//! engine supports *incremental* re-analysis
+//! ([`Timer::analyze_incremental`]): nets incident to moved cells get their
+//! Elmore state recomputed, the affected fan-out cone is re-propagated
+//! level by level, and every untouched pin keeps its previous value — the
+//! result is bit-identical to a from-scratch analysis. For loop use, the
+//! `*_into` variants ([`Timer::analyze_into`],
+//! [`Timer::analyze_incremental_into`], [`Timer::gradients_into`]) draw all
+//! buffers from a caller-owned [`AnalysisScratch`]; recycling retired
+//! analyses ([`AnalysisScratch::recycle`]) makes the steady-state timing
+//! iteration allocation-free. Internally the levelized graph, the per-class
+//! delay arcs and the per-net pin capacitances are stored in flat CSR form
+//! (offsets + one contiguous data array) rather than nested `Vec`s.
+//!
 //! The main entry point is [`Timer`]:
 //!
 //! ```
@@ -52,8 +68,13 @@ mod smoothing;
 
 pub use binding::Binding;
 pub use elmore::{ElmoreNet, ElmoreSeeds};
-pub use engine::{Analysis, PositionGradients, Timer, TimerConfig, WireModel};
+pub use engine::{
+    Analysis, AnalysisScratch, PositionGradients, Timer, TimerConfig, WireModel, MAX_INLINE_ARCS,
+};
 pub use error::StaError;
 pub use graph::{PinRole, TimingGraph};
 pub use report::{PathPoint, SlackHistogram, TimingReport};
-pub use smoothing::{lse_max, lse_max_weights, lse_min, smooth_neg, smooth_neg_grad};
+pub use smoothing::{
+    lse_max, lse_max_weights, lse_max_weights_into, lse_min, lse_min_weights,
+    lse_min_weights_into, smooth_neg, smooth_neg_grad,
+};

@@ -201,17 +201,17 @@ fn trace_path(timer: &Timer, nl: &Netlist, analysis: &Analysis, endpoint: PinId)
                     .and_then(|n| analysis.elmore(n))
                     .map_or(0.0, |e| e.root_load());
                 let mut best: Option<(f64, PinId)> = None;
-                for &(arc_idx, from_cp) in &cb.delay_arcs[pin.class_pin().index()] {
-                    let from = cell.pins()[from_cp];
+                for &(arc_idx, from_cp) in cb.delay_arcs(pin.class_pin().index()) {
+                    let from = cell.pins()[from_cp as usize];
                     if matches!(graph.role(from), PinRole::Unconnected | PinRole::Clock) {
                         continue;
                     }
                     let ev = timer
                         .binding()
-                        .arc(arc_idx)
+                        .arc(arc_idx as usize)
                         .eval(analysis.slew[from.index()], load);
                     let a = analysis.at[from.index()] + ev.delay;
-                    if best.map_or(true, |(b, _)| a > b) {
+                    if best.is_none_or(|(b, _)| a > b) {
                         best = Some((a, from));
                     }
                 }

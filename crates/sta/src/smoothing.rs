@@ -34,13 +34,30 @@ pub fn lse_max(xs: &[f64], gamma: f64) -> f64 {
 ///
 /// Panics if `xs` is empty or `gamma <= 0`.
 pub fn lse_max_weights(xs: &[f64], gamma: f64) -> (f64, Vec<f64>) {
-    assert!(!xs.is_empty() && gamma > 0.0);
-    let m = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let exps: Vec<f64> = xs.iter().map(|&x| ((x - m) / gamma).exp()).collect();
-    let s: f64 = exps.iter().sum();
-    let v = m + gamma * s.ln();
-    let w = exps.into_iter().map(|e| e / s).collect();
+    let mut w = vec![0.0; xs.len()];
+    let v = lse_max_weights_into(xs, gamma, &mut w);
     (v, w)
+}
+
+/// [`lse_max_weights`] writing the weights into a caller-provided buffer —
+/// the allocation-free form used by the per-iteration gradient sweep.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty, `gamma <= 0`, or `out.len() != xs.len()`.
+pub fn lse_max_weights_into(xs: &[f64], gamma: f64, out: &mut [f64]) -> f64 {
+    assert!(!xs.is_empty() && gamma > 0.0);
+    assert_eq!(out.len(), xs.len());
+    let m = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mut s = 0.0;
+    for (o, &x) in out.iter_mut().zip(xs) {
+        *o = ((x - m) / gamma).exp();
+        s += *o;
+    }
+    for o in out.iter_mut() {
+        *o /= s;
+    }
+    m + gamma * s.ln()
 }
 
 /// Smoothed minimum via `min(x) = −max(−x)`: `−γ · ln Σ exp(−xᵢ/γ)`.
@@ -63,13 +80,29 @@ pub fn lse_min(xs: &[f64], gamma: f64) -> f64 {
 ///
 /// Panics if `xs` is empty or `gamma <= 0`.
 pub fn lse_min_weights(xs: &[f64], gamma: f64) -> (f64, Vec<f64>) {
-    assert!(!xs.is_empty() && gamma > 0.0);
-    let m = xs.iter().cloned().fold(f64::INFINITY, f64::min);
-    let exps: Vec<f64> = xs.iter().map(|&x| (-(x - m) / gamma).exp()).collect();
-    let s: f64 = exps.iter().sum();
-    let v = m - gamma * s.ln();
-    let w = exps.into_iter().map(|e| e / s).collect();
+    let mut w = vec![0.0; xs.len()];
+    let v = lse_min_weights_into(xs, gamma, &mut w);
     (v, w)
+}
+
+/// [`lse_min_weights`] writing the weights into a caller-provided buffer.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty, `gamma <= 0`, or `out.len() != xs.len()`.
+pub fn lse_min_weights_into(xs: &[f64], gamma: f64, out: &mut [f64]) -> f64 {
+    assert!(!xs.is_empty() && gamma > 0.0);
+    assert_eq!(out.len(), xs.len());
+    let m = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mut s = 0.0;
+    for (o, &x) in out.iter_mut().zip(xs) {
+        *o = (-(x - m) / gamma).exp();
+        s += *o;
+    }
+    for o in out.iter_mut() {
+        *o /= s;
+    }
+    m - gamma * s.ln()
 }
 
 /// Smooth `min(0, s)` (the per-endpoint TNS contribution) as

@@ -118,6 +118,83 @@ fn repeated_incremental_stays_consistent() {
     assert_analyses_equal(&analysis, &full);
 }
 
+mod drift_properties {
+    use super::*;
+    use dtp_sta::AnalysisScratch;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Chained incremental analyses through the scratch ping-pong
+        /// (`analyze_incremental_into` + `recycle`) never drift: after any
+        /// random sequence of move batches, the chained result matches a
+        /// from-scratch analysis.
+        #[test]
+        fn chained_incremental_never_drifts(
+            seed in 0u64..1000,
+            hops in 1usize..6,
+            batch in 1usize..9,
+            smoothed_sel in 0usize..2,
+        ) {
+            let smoothed = smoothed_sel == 1;
+            let mut design =
+                generate(&GeneratorConfig::named("inc_prop", 180)).expect("generator");
+            let lib = synthetic_pdk();
+            let timer = Timer::new(&design, &lib).expect("timer builds");
+            let mut forest = build_forest(&design.netlist);
+            let mut scratch = AnalysisScratch::new();
+            let mut analysis = if smoothed {
+                timer.analyze_smoothed(&design.netlist, &forest)
+            } else {
+                timer.analyze(&design.netlist, &forest)
+            };
+            let mut rng = StdRng::seed_from_u64(seed);
+            let movable: Vec<CellId> = design.netlist.movable_cells().collect();
+            for _ in 0..hops {
+                let mut moved = Vec::new();
+                for _ in 0..batch {
+                    let c = movable[rng.gen_range(0..movable.len())];
+                    let pos = design.netlist.cell(c).pos();
+                    design.netlist.set_cell_pos(
+                        c,
+                        Point::new(
+                            pos.x + rng.gen_range(-5.0..5.0),
+                            pos.y + rng.gen_range(-5.0..5.0),
+                        ),
+                    );
+                    moved.push(c);
+                }
+                forest.update_positions(&design.netlist);
+                let next = timer.analyze_incremental_into(
+                    &design.netlist,
+                    &forest,
+                    &analysis,
+                    &moved,
+                    true,
+                    &mut scratch,
+                );
+                scratch.recycle(analysis);
+                analysis = next;
+            }
+            let full = if smoothed {
+                timer.analyze_smoothed(&design.netlist, &forest)
+            } else {
+                timer.analyze(&design.netlist, &forest)
+            };
+            for i in 0..full.at.len() {
+                prop_assert!((analysis.at[i] - full.at[i]).abs() < 1e-9);
+                prop_assert!((analysis.slew[i] - full.slew[i]).abs() < 1e-9);
+                prop_assert!((analysis.at_early[i] - full.at_early[i]).abs() < 1e-9);
+                let (ra, rb) = (analysis.rat[i], full.rat[i]);
+                prop_assert!(ra == rb || (ra - rb).abs() < 1e-9);
+            }
+            prop_assert!((analysis.wns() - full.wns()).abs() < 1e-9);
+            prop_assert!((analysis.tns() - full.tns()).abs() < 1e-9);
+        }
+    }
+}
+
 #[test]
 fn skipping_rat_keeps_metrics_exact() {
     let mut design = generate(&GeneratorConfig::named("inc_norat", 200)).expect("generator");
