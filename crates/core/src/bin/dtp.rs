@@ -5,6 +5,8 @@
 //! dtp gen   <name> <cells> <out_dir>        generate a synthetic design (Bookshelf + .lib + .sdc)
 //! dtp sta   <bookshelf_prefix> <lib_file>   timing report for a placed design
 //! dtp place <bookshelf_prefix_or_proxy> [--mode wl|nw|diff] [--out dir] [--svg file]
+//!           [--route] [--route-grid N] [--route-capacity C] [--route-weight W]
+//!           [--inflation-max F] [--route-period N]
 //! dtp proxy <sbN> [scale_denom]             print statistics of a superblue proxy
 //! ```
 //!
@@ -105,12 +107,27 @@ fn cmd_sta(args: &[String]) -> CliResult {
 
 fn cmd_place(args: &[String]) -> CliResult {
     let Some(spec) = args.first() else {
-        return Err("usage: dtp place <design> [--mode wl|nw|diff] [--out dir] [--svg file]".into());
+        return Err(
+            "usage: dtp place <design> [--mode wl|nw|diff] [--out dir] [--svg file] \
+             [--route] [--route-grid N] [--route-capacity C] [--route-weight W] \
+             [--inflation-max F] [--route-period N]"
+                .into(),
+        );
     };
     let mut mode = FlowMode::differentiable();
+    let mut config = FlowConfig::default();
     let mut out_dir: Option<String> = None;
     let mut svg_path: Option<String> = None;
     let mut i = 1;
+    // Numeric option value parser (shared by the route knobs).
+    fn num<T: std::str::FromStr>(
+        args: &[String],
+        i: usize,
+    ) -> Result<T, Box<dyn std::error::Error>> {
+        args.get(i + 1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("option `{}` needs a numeric value", args[i]).into())
+    }
     while i < args.len() {
         match args[i].as_str() {
             "--mode" => {
@@ -130,6 +147,30 @@ fn cmd_place(args: &[String]) -> CliResult {
                 svg_path = args.get(i + 1).cloned();
                 i += 2;
             }
+            "--route" => {
+                config.route_aware = true;
+                i += 1;
+            }
+            "--route-grid" => {
+                config.route_grid = num(args, i)?;
+                i += 2;
+            }
+            "--route-capacity" => {
+                config.route_capacity = num(args, i)?;
+                i += 2;
+            }
+            "--route-weight" => {
+                config.route_weight = num(args, i)?;
+                i += 2;
+            }
+            "--inflation-max" => {
+                config.inflation_max = num(args, i)?;
+                i += 2;
+            }
+            "--route-period" => {
+                config.route_update_period = num(args, i)?;
+                i += 2;
+            }
             other => return Err(format!("unknown option `{other}`").into()),
         }
     }
@@ -139,8 +180,12 @@ fn cmd_place(args: &[String]) -> CliResult {
         design.constraints = Sdc::with_period(500.0);
     }
     let lib = synthetic_pdk();
-    let r = run_flow(&design, &lib, mode, &FlowConfig::default())?;
+    let r = run_flow(&design, &lib, mode, &config)?;
     println!("{r}");
+    println!(
+        "congestion ({}x{} grid, capacity {}): {}",
+        config.route_grid, config.route_grid, config.route_capacity, r.congestion
+    );
     if let Some(dir) = out_dir {
         design.netlist.set_positions(&r.xs, &r.ys);
         bookshelf::write_design(&design, Path::new(&dir))?;

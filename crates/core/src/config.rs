@@ -169,6 +169,29 @@ pub struct FlowConfig {
     /// frontier sweep re-evaluates most of the graph anyway and the
     /// bookkeeping is pure overhead.
     pub incremental_fallback_frac: f64,
+    /// Enable the routability subsystem: the differentiable congestion
+    /// penalty joins the objective and the RUDY feedback loop (cell
+    /// inflation + congested-net weighting) runs every
+    /// [`route_update_period`](FlowConfig::route_update_period) iterations.
+    /// `false` leaves the flow trajectory bit-for-bit identical to a build
+    /// without the subsystem.
+    pub route_aware: bool,
+    /// Routing-congestion grid (bins × bins), for both the exact RUDY map
+    /// and the smoothed penalty.
+    pub route_grid: usize,
+    /// Per-direction routing supply in wire-µm per µm² of bin area (the
+    /// per-bin capacity is this times the bin area).
+    pub route_capacity: f64,
+    /// Strength of the congestion pressure: the congestion gradient is
+    /// rescaled so its ∞-norm equals this fraction of the combined
+    /// wirelength+density gradient's ∞-norm, and congested nets get their
+    /// wirelength weight boosted by up to `1 + route_weight`.
+    pub route_weight: f64,
+    /// Cap on the congestion-driven per-cell area inflation factor.
+    pub inflation_max: f64,
+    /// Run the RUDY feedback (inflation + net reweighting) every this many
+    /// iterations once congestion optimization is active.
+    pub route_update_period: usize,
 }
 
 /// Legalization algorithm selection.
@@ -198,6 +221,12 @@ impl Default for FlowConfig {
             dirty_threshold: 0.0,
             topo_dirty_frac: 0.10,
             incremental_fallback_frac: 0.30,
+            route_aware: false,
+            route_grid: 32,
+            route_capacity: 0.5,
+            route_weight: 1.0,
+            inflation_max: 2.5,
+            route_update_period: 20,
         }
     }
 }

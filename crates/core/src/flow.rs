@@ -8,6 +8,13 @@
 //! - differentiable (ours): smoothed STA → TNS/WNS gradients added to the
 //!   wirelength + density gradient, Steiner forest rebuilt every N
 //!   iterations and branch-updated in between.
+//!
+//! Orthogonally to the timing mechanism, [`FlowConfig::route_aware`] enables
+//! the routability subsystem (`dtp-route`): a smoothed congestion penalty
+//! joins the gradient every iteration, and a RUDY feedback loop periodically
+//! inflates cells in overflowed bins and boosts the wirelength weight of
+//! nets crossing them. The exact RUDY map is maintained incrementally from
+//! the same geometry-dirty net sets that drive incremental timing.
 
 use crate::config::{FlowConfig, FlowMode, LegalizerChoice};
 use crate::weighting::NetWeighter;
@@ -15,6 +22,7 @@ use dtp_liberty::Library;
 use dtp_netlist::{CellId, Design, NetId, NetlistError};
 use dtp_place::detail::DetailPlacer;
 use dtp_place::{AbacusLegalizer, DensityModel, Legalizer, NesterovOptimizer, WirelengthModel};
+use dtp_route::{inflation_factors, CongestionPenalty, CongestionSummary, RudyMap};
 use dtp_rsmt::{build_forest, SteinerForest};
 use dtp_sta::{Analysis, AnalysisScratch, PositionGradients, StaError, Timer, TimerConfig};
 use rand::rngs::StdRng;
@@ -110,6 +118,10 @@ pub struct FlowResult {
     pub xs: Vec<f64>,
     /// Final legalized y positions.
     pub ys: Vec<f64>,
+    /// Routing-congestion summary of the final placement (always computed,
+    /// on the [`FlowConfig::route_grid`]/[`FlowConfig::route_capacity`]
+    /// grid, whether or not the flow was route-aware).
+    pub congestion: CongestionSummary,
 }
 
 impl fmt::Display for FlowResult {
@@ -288,6 +300,56 @@ impl IncrementalState {
     }
 }
 
+/// Density overflow below which congestion optimization switches on: like
+/// timing, the RUDY estimate is meaningless while every cell still sits in
+/// the initial center cluster.
+const ROUTE_START_OVERFLOW: f64 = 0.5;
+
+/// Runtime state of the congestion-aware subsystem (`route_aware = true`).
+struct RouteState {
+    /// Exact incremental RUDY map — reporting and feedback.
+    map: RudyMap,
+    /// Differentiable smoothed-overflow penalty — the gradient term.
+    penalty: CongestionPenalty,
+    /// Penalty-gradient scratch.
+    pgx: Vec<f64>,
+    pgy: Vec<f64>,
+    /// Per-model-net congestion boosts (1.0 = neutral) and their product
+    /// with the timing weighter's weights.
+    boost: Vec<f64>,
+    combined: Vec<f64>,
+    /// Per-cell inflation factors for the density model.
+    inflation: Vec<f64>,
+    /// Latched once density overflow first drops under
+    /// [`ROUTE_START_OVERFLOW`]; counts active iterations for the feedback
+    /// cadence.
+    iters_active: usize,
+    active: bool,
+    /// Whether the map has been built from a forest yet.
+    built: bool,
+    /// Whether any boost differs from 1 (skips the weight merge if not).
+    boosted: bool,
+}
+
+impl RouteState {
+    fn new(design: &Design, config: &FlowConfig) -> RouteState {
+        let g = config.route_grid.max(2);
+        RouteState {
+            map: RudyMap::new(design, g, g, config.route_capacity),
+            penalty: CongestionPenalty::new(design, g, g, config.route_capacity),
+            pgx: Vec::new(),
+            pgy: Vec::new(),
+            boost: Vec::new(),
+            combined: Vec::new(),
+            inflation: Vec::new(),
+            iters_active: 0,
+            active: false,
+            built: false,
+            boosted: false,
+        }
+    }
+}
+
 /// Runs one placement flow on `design` and returns metrics, trace and the
 /// final legalized placement.
 ///
@@ -324,7 +386,7 @@ pub fn run_flow(
 
     // --- models -------------------------------------------------------------
     let wl_model = WirelengthModel::new(&work.netlist);
-    let density = DensityModel::new(&work, config.bins, config.bins, config.target_density);
+    let mut density = DensityModel::new(&work, config.bins, config.bins, config.target_density);
     let bin_w = work.region.width() / config.bins as f64;
     let (timer_gamma, wire_model) = match mode {
         FlowMode::Differentiable(d) => (d.gamma, d.wire_model.into()),
@@ -352,6 +414,7 @@ pub fn run_flow(
         .map(|c| work.netlist.class_of(c).area())
         .collect();
 
+    let mut route = config.route_aware.then(|| RouteState::new(&work, config));
     let mut opt = NesterovOptimizer::new(&work, bin_w);
     let mut forest: Option<SteinerForest> = None;
     let mut inc = IncrementalState::new(nl_cells);
@@ -391,7 +454,15 @@ pub fn run_flow(
         };
         let trace_timing =
             config.trace_timing_every > 0 && iter % config.trace_timing_every == 0;
-        if timing_active || trace_timing {
+        // Congestion optimization latches on once the cells have spread out
+        // (`overflow` here is still the previous iteration's value).
+        if let Some(rs) = route.as_mut() {
+            if !rs.active && iter > 0 && overflow < ROUTE_START_OVERFLOW {
+                rs.active = true;
+            }
+        }
+        let route_active = route.as_ref().is_some_and(|rs| rs.active);
+        if timing_active || trace_timing || route_active {
             if config.incremental_timing {
                 // Dirty-set maintenance: per-net coordinate updates for
                 // geometry-dirty nets, per-net Steiner rebuilds once a net's
@@ -427,9 +498,43 @@ pub fn run_flow(
             }
         }
 
-        // Wirelength gradient (WA), γ annealed with overflow.
+        // Exact RUDY map maintenance: full build on activation, then
+        // incremental updates from the same geometry/topology-dirty net
+        // sets the incremental timer consumes (plus a cell-position scan
+        // for the pin-density term). The legacy (non-incremental) path has
+        // no dirty sets and rebuilds at the feedback cadence instead.
+        if route_active {
+            let rs = route.as_mut().expect("route state exists when active");
+            let f = forest.as_ref().expect("forest built when route is active");
+            if !rs.built {
+                rs.map.build(&work.netlist, f);
+                rs.built = true;
+            } else if config.incremental_timing {
+                rs.map.update_nets(f, &inc.geo_nets);
+                rs.map.update_nets(f, &inc.topo_nets);
+                rs.map.sync_cells(&work.netlist);
+            } else if rs.iters_active % config.route_update_period.max(1) == 0 {
+                rs.map.build(&work.netlist, f);
+            }
+        }
+
+        // Wirelength gradient (WA), γ annealed with overflow; congested
+        // nets carry their boosted weight (merged with the timing
+        // weighter's weights when both mechanisms are on).
         let wa_gamma = (bin_w * (0.1 + 8.0 * overflow)).max(1e-3);
-        let weights = weighter.as_ref().map(NetWeighter::weights);
+        if let Some(rs) = route.as_mut().filter(|rs| rs.boosted) {
+            rs.combined.clear();
+            match weighter.as_ref().map(NetWeighter::weights) {
+                Some(w) => rs
+                    .combined
+                    .extend(w.iter().zip(&rs.boost).map(|(a, b)| a * b)),
+                None => rs.combined.extend_from_slice(&rs.boost),
+            }
+        }
+        let weights = match route.as_ref() {
+            Some(rs) if rs.boosted => Some(rs.combined.as_slice()),
+            _ => weighter.as_ref().map(NetWeighter::weights),
+        };
         let (_wl, mut gx, mut gy) = wl_model.wa_gradient(&vx, &vy, wa_gamma, weights);
 
         // Density gradient.
@@ -449,6 +554,61 @@ pub fn run_flow(
         for i in 0..nl_cells {
             gx[i] += lambda * dres.grad_x[i];
             gy[i] += lambda * dres.grad_y[i];
+        }
+
+        // Congestion penalty gradient, normalized like the timing
+        // preconditioner: its ∞-norm is pinned to `route_weight` times the
+        // combined wirelength+density gradient's, so the pressure tracks
+        // the optimizer's scale instead of the raw demand units.
+        if route_active {
+            let rs = route.as_mut().expect("route state exists when active");
+            let f = forest.as_ref().expect("forest built when route is active");
+            rs.penalty
+                .value_and_gradient(&work.netlist, f, &mut rs.pgx, &mut rs.pgy);
+            let base_norm = gx
+                .iter()
+                .chain(gy.iter())
+                .fold(0.0f64, |m, &g| m.max(g.abs()));
+            let p_norm = rs
+                .pgx
+                .iter()
+                .chain(rs.pgy.iter())
+                .fold(0.0f64, |m, &g| m.max(g.abs()));
+            if p_norm > 0.0 {
+                let scale = config.route_weight * base_norm / p_norm;
+                for i in 0..nl_cells {
+                    gx[i] += scale * rs.pgx[i];
+                    gy[i] += scale * rs.pgy[i];
+                }
+            }
+        }
+
+        // RUDY feedback every `route_update_period` active iterations:
+        // inflate cells in overflowed bins (density-model footprints) and
+        // boost the wirelength weight of nets crossing them; both take
+        // effect from the next iteration's gradients.
+        if route_active {
+            let rs = route.as_mut().expect("route state exists when active");
+            if rs.iters_active % config.route_update_period.max(1) == 0 {
+                inflation_factors(
+                    &rs.map,
+                    &work.netlist,
+                    config.inflation_max,
+                    &mut rs.inflation,
+                );
+                density.set_inflation(&rs.inflation);
+                rs.boost.resize(wl_model.num_nets(), 1.0);
+                rs.boosted = false;
+                for e in 0..wl_model.num_nets() {
+                    let over = rs.map.net_overflow(NetId::new(wl_model.net_index(e)));
+                    let b = 1.0 + config.route_weight * over.min(1.0);
+                    rs.boost[e] = b;
+                    if b != 1.0 {
+                        rs.boosted = true;
+                    }
+                }
+            }
+            rs.iters_active += 1;
         }
 
         // Timing mechanisms.
@@ -629,6 +789,12 @@ pub fn run_flow(
     let t0 = Instant::now();
     let final_analysis = timer.analyze(&work.netlist, &final_forest);
     timing_runtime += t0.elapsed().as_secs_f64();
+    let congestion = {
+        let g = config.route_grid.max(2);
+        let mut map = RudyMap::new(&work, g, g, config.route_capacity);
+        map.build(&work.netlist, &final_forest);
+        map.summary()
+    };
 
     Ok(FlowResult {
         mode: mode.label(),
@@ -646,5 +812,6 @@ pub fn run_flow(
         trace,
         xs: lx,
         ys: ly,
+        congestion,
     })
 }

@@ -46,6 +46,7 @@ mod timing_detail;
 mod weighting;
 
 pub use config::{DiffTimingConfig, FlowConfig, FlowMode, LegalizerChoice, NetWeightConfig, WireModelChoice};
+pub use dtp_route::CongestionSummary;
 pub use flow::{run_flow, FlowError, FlowResult, TracePoint};
 pub use timing_detail::{refine_timing, TimingDetailConfig, TimingDetailResult};
 pub use weighting::NetWeighter;

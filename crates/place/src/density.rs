@@ -21,8 +21,10 @@ pub struct DensityModel {
     w_true: Vec<f64>,
     h_true: Vec<f64>,
     /// Charge per cell = true area (0 for fixed/port cells, which this model
-    /// treats as background).
+    /// treats as background), times the current inflation factor.
     charge: Vec<f64>,
+    /// Uninflated charge, kept so inflation factors never compound.
+    base_charge: Vec<f64>,
     target_density: f64,
     movable_area: f64,
 }
@@ -87,6 +89,7 @@ impl DensityModel {
             h_eff,
             w_true,
             h_true,
+            base_charge: charge.clone(),
             charge,
             target_density,
             movable_area: nl.movable_area(),
@@ -96,6 +99,36 @@ impl DensityModel {
     /// Bin grid shape.
     pub fn shape(&self) -> (usize, usize) {
         (self.m, self.n)
+    }
+
+    /// Applies per-cell area inflation factors (congestion-driven cell
+    /// bloating): cell `c` gets charge `base_area · f[c]` and its effective
+    /// footprint grows by `√f[c]` per side (still floored at the bin size),
+    /// so the density force clears extra room around congested cells.
+    ///
+    /// Factors apply to the *uninflated* baseline — calling this repeatedly
+    /// replaces, never compounds, the previous factors; `set_inflation(&[1.0;
+    /// n])` restores the original model exactly. Fixed cells are unaffected
+    /// (their charge is 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factors` is shorter than the cell count or any factor
+    /// is < 1.
+    pub fn set_inflation(&mut self, factors: &[f64]) {
+        assert!(factors.len() >= self.charge.len(), "factor per cell required");
+        let mut movable_area = 0.0;
+        for (c, &f) in factors.iter().enumerate().take(self.charge.len()) {
+            assert!(f >= 1.0, "inflation factor {f} < 1 for cell {c}");
+            self.charge[c] = self.base_charge[c] * f;
+            movable_area += self.charge[c];
+            if self.base_charge[c] > 0.0 {
+                let s = f.sqrt();
+                self.w_eff[c] = (self.w_true[c] * s).max(self.bin_w);
+                self.h_eff[c] = (self.h_true[c] * s).max(self.bin_h);
+            }
+        }
+        self.movable_area = movable_area;
     }
 
     /// Evaluates density energy, overflow and per-cell gradients at the given
@@ -313,6 +346,41 @@ mod tests {
         assert!(cosine > 0.9, "gradient direction poor: cosine = {cosine}");
         let ratio = na.sqrt() / nn.sqrt().max(1e-12);
         assert!((0.4..2.5).contains(&ratio), "gradient magnitude off: ratio = {ratio}");
+    }
+
+    #[test]
+    fn inflation_replaces_and_restores_exactly() {
+        let (d, mut model) = setup();
+        let (xs, ys) = d.netlist.positions();
+        let base = model.compute(&xs, &ys);
+
+        let n = d.netlist.num_cells();
+        let mut factors = vec![1.0; n];
+        for c in d.netlist.movable_cells().step_by(2) {
+            factors[c.index()] = 2.0;
+        }
+        model.set_inflation(&factors);
+        let inflated = model.compute(&xs, &ys);
+        assert!(
+            inflated.max_density > base.max_density,
+            "inflated charge must raise peak density: {} vs {}",
+            inflated.max_density,
+            base.max_density
+        );
+
+        // Applying again must replace, not compound; all-ones restores the
+        // original model bit-for-bit.
+        model.set_inflation(&factors);
+        let again = model.compute(&xs, &ys);
+        assert_eq!(again.energy, inflated.energy);
+        assert_eq!(again.overflow, inflated.overflow);
+
+        model.set_inflation(&vec![1.0; n]);
+        let restored = model.compute(&xs, &ys);
+        assert_eq!(restored.energy, base.energy);
+        assert_eq!(restored.overflow, base.overflow);
+        assert_eq!(restored.grad_x, base.grad_x);
+        assert_eq!(restored.grad_y, base.grad_y);
     }
 
     #[test]

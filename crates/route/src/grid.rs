@@ -1,0 +1,241 @@
+//! Shared routing-grid geometry and the congestion summary metrics.
+
+use dtp_netlist::{Point, Rect};
+
+/// An `m × n` bin grid over the core region, shared by the exact RUDY map
+/// and the differentiable penalty so both see the same bins and capacities.
+///
+/// Bin `(i, j)` covers `[xl + i·bin_w, xl + (i+1)·bin_w) ×
+/// [yl + j·bin_h, yl + (j+1)·bin_h)` and lives at flat index `i·n + j`
+/// (the same layout as `dtp-place`'s density grid).
+#[derive(Clone, Copy, Debug)]
+pub struct RouteGrid {
+    region: Rect,
+    m: usize,
+    n: usize,
+    bin_w: f64,
+    bin_h: f64,
+}
+
+impl RouteGrid {
+    /// Builds the grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` or `n` is zero or the region is degenerate.
+    pub fn new(region: Rect, m: usize, n: usize) -> RouteGrid {
+        assert!(m > 0 && n > 0, "route grid must have at least one bin");
+        assert!(
+            region.width() > 0.0 && region.height() > 0.0,
+            "route grid needs a non-degenerate region"
+        );
+        RouteGrid {
+            region,
+            m,
+            n,
+            bin_w: region.width() / m as f64,
+            bin_h: region.height() / n as f64,
+        }
+    }
+
+    /// Grid shape `(m, n)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.m, self.n)
+    }
+
+    /// Number of bins (`m·n`).
+    pub fn num_bins(&self) -> usize {
+        self.m * self.n
+    }
+
+    /// Bin width (µm).
+    pub fn bin_w(&self) -> f64 {
+        self.bin_w
+    }
+
+    /// Bin height (µm).
+    pub fn bin_h(&self) -> f64 {
+        self.bin_h
+    }
+
+    /// The covered region.
+    pub fn region(&self) -> Rect {
+        self.region
+    }
+
+    /// Flat index of bin `(i, j)`.
+    #[inline]
+    pub fn index(&self, i: usize, j: usize) -> usize {
+        i * self.n + j
+    }
+
+    /// Bin containing the point, clamped to the grid.
+    #[inline]
+    pub fn bin_of(&self, p: Point) -> (usize, usize) {
+        let i = ((p.x - self.region.xl) / self.bin_w)
+            .floor()
+            .clamp(0.0, (self.m - 1) as f64) as usize;
+        let j = ((p.y - self.region.yl) / self.bin_h)
+            .floor()
+            .clamp(0.0, (self.n - 1) as f64) as usize;
+        (i, j)
+    }
+
+    /// Per-bin, per-direction routing capacity (µm of routable wire) for a
+    /// supply of `capacity` wirelength per µm² of bin area per direction.
+    pub fn bin_capacity(&self, capacity: f64) -> f64 {
+        capacity * self.bin_w * self.bin_h
+    }
+
+    /// Distributes `h_amt`/`v_amt` over the bins overlapping `rect`
+    /// (clamped to the region) proportionally to overlap area, appending
+    /// one `(flat_bin, h, v)` entry per touched bin. Mass-conserving: the
+    /// appended amounts sum to exactly the inputs (up to round-off) because
+    /// the bins tile the clamped rectangle.
+    pub(crate) fn splat(
+        &self,
+        rect: &Rect,
+        h_amt: f64,
+        v_amt: f64,
+        out: &mut Vec<(u32, f64, f64)>,
+    ) {
+        let (rxl, ryl) = (rect.xl.max(self.region.xl), rect.yl.max(self.region.yl));
+        let (rxh, ryh) = (rect.xh.min(self.region.xh), rect.yh.min(self.region.yh));
+        // The clamp inverts the rect when the input lies entirely outside
+        // the region; such geometry contributes nothing.
+        if rxh <= rxl || ryh <= ryl || (h_amt == 0.0 && v_amt == 0.0) {
+            return;
+        }
+        let r = Rect::new(rxl, ryl, rxh, ryh);
+        let area = (r.xh - r.xl) * (r.yh - r.yl);
+        let i0 = (((r.xl - self.region.xl) / self.bin_w).floor().max(0.0)) as usize;
+        let j0 = (((r.yl - self.region.yl) / self.bin_h).floor().max(0.0)) as usize;
+        let i1 = ((((r.xh - self.region.xl) / self.bin_w).ceil()) as usize).min(self.m);
+        let j1 = ((((r.yh - self.region.yl) / self.bin_h).ceil()) as usize).min(self.n);
+        let inv = 1.0 / area;
+        for i in i0..i1 {
+            let bx0 = self.region.xl + i as f64 * self.bin_w;
+            let ox = (r.xh.min(bx0 + self.bin_w) - r.xl.max(bx0)).max(0.0);
+            if ox == 0.0 {
+                continue;
+            }
+            for j in j0..j1 {
+                let by0 = self.region.yl + j as f64 * self.bin_h;
+                let oy = (r.yh.min(by0 + self.bin_h) - r.yl.max(by0)).max(0.0);
+                if oy > 0.0 {
+                    let f = ox * oy * inv;
+                    out.push((self.index(i, j) as u32, h_amt * f, v_amt * f));
+                }
+            }
+        }
+    }
+}
+
+/// Summary metrics of a congestion map — the routability counterpart of
+/// WNS/TNS in the final flow report.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CongestionSummary {
+    /// Worst per-bin demand/capacity ratio over both directions
+    /// (1.0 = exactly at capacity).
+    pub max_overflow: f64,
+    /// Mean over bins of `max(0, worst-direction ratio − 1)`.
+    pub avg_overflow: f64,
+    /// Fraction of bins whose worst-direction demand exceeds capacity.
+    pub overflowed_frac: f64,
+}
+
+impl CongestionSummary {
+    /// Computes the summary from demand grids and per-direction capacities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grids differ in length or capacities are not positive.
+    pub fn from_demand(h: &[f64], v: &[f64], cap_h: f64, cap_v: f64) -> CongestionSummary {
+        assert_eq!(h.len(), v.len());
+        assert!(cap_h > 0.0 && cap_v > 0.0, "capacities must be positive");
+        let mut max_ratio = 0.0f64;
+        let mut sum_over = 0.0;
+        let mut n_over = 0usize;
+        for (&dh, &dv) in h.iter().zip(v) {
+            let r = (dh / cap_h).max(dv / cap_v);
+            max_ratio = max_ratio.max(r);
+            if r > 1.0 {
+                n_over += 1;
+                sum_over += r - 1.0;
+            }
+        }
+        let bins = h.len().max(1) as f64;
+        CongestionSummary {
+            max_overflow: max_ratio,
+            avg_overflow: sum_over / bins,
+            overflowed_frac: n_over as f64 / bins,
+        }
+    }
+}
+
+impl std::fmt::Display for CongestionSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "max overflow {:.2}x | avg overflow {:.3} | {:.1}% bins overflowed",
+            self.max_overflow,
+            self.avg_overflow,
+            self.overflowed_frac * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> RouteGrid {
+        RouteGrid::new(Rect::new(0.0, 0.0, 10.0, 10.0), 5, 5)
+    }
+
+    #[test]
+    fn geometry() {
+        let g = grid();
+        assert_eq!(g.shape(), (5, 5));
+        assert_eq!(g.num_bins(), 25);
+        assert_eq!(g.bin_w(), 2.0);
+        assert_eq!(g.bin_h(), 2.0);
+        assert_eq!(g.bin_of(Point::new(0.1, 9.9)), (0, 4));
+        // Clamped outside the region.
+        assert_eq!(g.bin_of(Point::new(-5.0, 50.0)), (0, 4));
+        assert_eq!(g.bin_capacity(0.5), 2.0);
+    }
+
+    #[test]
+    fn splat_conserves_mass() {
+        let g = grid();
+        let mut out = Vec::new();
+        // A rect straddling several bins and poking outside the region.
+        g.splat(&Rect::new(-1.0, 3.0, 5.0, 7.5), 6.0, 2.5, &mut out);
+        let (sh, sv): (f64, f64) = out
+            .iter()
+            .fold((0.0, 0.0), |(a, b), &(_, h, v)| (a + h, b + v));
+        assert!((sh - 6.0).abs() < 1e-12, "h mass {sh}");
+        assert!((sv - 2.5).abs() < 1e-12, "v mass {sv}");
+    }
+
+    #[test]
+    fn splat_degenerate_rect_is_dropped() {
+        let g = grid();
+        let mut out = Vec::new();
+        g.splat(&Rect::new(3.0, 4.0, 3.0, 4.0), 1.0, 1.0, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn summary_counts_overflowed_bins() {
+        let h = vec![0.5, 2.0, 1.0, 3.0];
+        let v = vec![0.5, 0.5, 0.5, 0.5];
+        let s = CongestionSummary::from_demand(&h, &v, 1.0, 1.0);
+        assert_eq!(s.max_overflow, 3.0);
+        assert_eq!(s.overflowed_frac, 0.5);
+        assert!((s.avg_overflow - (1.0 + 2.0) / 4.0).abs() < 1e-12);
+        let text = s.to_string();
+        assert!(text.contains("overflow"));
+    }
+}

@@ -1,0 +1,47 @@
+//! Routability subsystem for the differentiable-timing-driven placer.
+//!
+//! A placement that wins TNS/WNS but cannot be routed is not shippable, so
+//! this crate adds the congestion axis that DREAMPlace 4.x pairs with the
+//! paper's timing technique. It mirrors the exact/smoothed split of the
+//! timing engine (`dtp-sta`):
+//!
+//! - [`RudyMap`] — an *exact*, incrementally maintained RUDY-style
+//!   congestion estimator. Every Steiner-forest branch (from `dtp-rsmt`'s
+//!   Fig.-4 branch bookkeeping) is rasterized into horizontal/vertical
+//!   demand grids by bounding-box overlap, plus a per-cell pin-density
+//!   term. Per-net stamps are cached so a moved net is un-stamped and
+//!   re-stamped in time proportional to the bins it covers — the
+//!   congestion analogue of the dirty-set incremental timing pipeline.
+//!   Used for reporting and for the feedback loop (inflation, net
+//!   weighting).
+//! - [`CongestionPenalty`] — a *differentiable* smoothed-overflow penalty:
+//!   branch demand is bilinearly point-stamped at edge midpoints, per-bin
+//!   overflow is smoothed with a softplus (the same pattern as the
+//!   LSE-smoothed TNS/WNS of `dtp-sta`), and analytic per-pin location
+//!   gradients flow back through the stamp weights and branch spans,
+//!   then through the Steiner trees' coordinate-source bookkeeping to
+//!   cells. Used as a weighted term in the optimizer gradient.
+//! - [`inflation_factors`] — congestion-driven cell inflation feeding
+//!   `dtp-place`'s `DensityModel::set_inflation`: cells sitting in
+//!   overflowed bins grow their density footprint/charge so the
+//!   electrostatic field spreads the hot region.
+//!
+//! The flow wiring (activation schedule, gradient weighting, feedback
+//! period) lives in `dtp-core`; this crate is pure estimation + calculus.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod grid;
+mod inflate;
+mod penalty;
+mod rudy;
+
+pub use grid::{CongestionSummary, RouteGrid};
+pub use inflate::inflation_factors;
+pub use penalty::CongestionPenalty;
+pub use rudy::RudyMap;
+
+/// Default pin-density demand per connected pin (µm of wire), the local
+/// escape-routing cost RUDY adds on top of branch demand.
+pub const DEFAULT_PIN_WEIGHT: f64 = 0.5;

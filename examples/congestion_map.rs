@@ -1,0 +1,57 @@
+//! Build a branch-level RUDY congestion map for a generated design, print
+//! the summary metrics, and render an ASCII heat map of per-bin overflow —
+//! a quick way to eyeball where the router would hurt before running the
+//! congestion-aware flow.
+//!
+//! Run with: `cargo run --release -p dtp-route --example congestion_map`
+
+use dtp_netlist::generate::{generate, GeneratorConfig};
+use dtp_route::RudyMap;
+use dtp_rsmt::build_forest;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut cfg = GeneratorConfig::named("congestion-demo", 4000);
+    cfg.seed = 42;
+    let design = generate(&cfg)?;
+    let forest = build_forest(&design.netlist);
+
+    // Scale capacity to the design's average demand density so the heat
+    // map shows structure (ratio 1.0 == average bin): hot spots stand out
+    // instead of every bin saturating on the random initial placement.
+    let (m, n) = (24, 24);
+    let area = design.region.width() * design.region.height();
+    let capacity = forest.total_wirelength() / (2.0 * area);
+    let mut map = RudyMap::new(&design, m, n, capacity);
+    map.build(&design.netlist, &forest);
+
+    println!(
+        "design {}: {} cells, {} nets, forest wirelength {:.0}",
+        design.name,
+        design.netlist.num_cells(),
+        design.netlist.num_nets(),
+        forest.total_wirelength()
+    );
+    println!("grid {m}x{n}, capacity {capacity:.3} (wire-µm per µm² per direction)");
+    println!("congestion: {}", map.summary());
+    println!();
+
+    // ASCII heat map: rows are y from top to bottom, '.' under 50% usage,
+    // then increasingly hot glyphs; '#' and '@' are over capacity.
+    let glyphs = ['.', ':', '-', '=', '+', '*', '#', '@'];
+    let region = design.region;
+    let (bw, bh) = (region.width() / m as f64, region.height() / n as f64);
+    for j in (0..n).rev() {
+        let mut row = String::with_capacity(m);
+        for i in 0..m {
+            let cx = region.xl + (i as f64 + 0.5) * bw;
+            let cy = region.yl + (j as f64 + 0.5) * bh;
+            let r = map.overflow_ratio_at(dtp_netlist::Point::new(cx, cy));
+            let idx = ((r / 0.25) as usize).min(glyphs.len() - 1);
+            row.push(glyphs[idx]);
+        }
+        println!("  {row}");
+    }
+    println!();
+    println!("  scale: '.' <25% .. '*' ~125% .. '@' >=175% of capacity");
+    Ok(())
+}
