@@ -27,7 +27,7 @@ fn bench_kernels(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(format!("density_{bins}"), cells),
                 &cells,
-                |b, _| b.iter(|| black_box(density.compute(&xs, &ys))),
+                |b, _| b.iter(|| black_box(density.evaluate(&xs, &ys))),
             );
         }
     }

@@ -1,0 +1,249 @@
+//! Electrostatics-kernel benchmark emitting `BENCH_density.json`.
+//!
+//! Four measurements, mirroring `bench_route`'s hand-timed style:
+//!
+//! 1. **Poisson solve**: dense reference transforms vs the radix-2 FFT
+//!    backend on 64²–512² grids (the acceptance target is ≥ 5× at 256²).
+//! 2. **Density evaluation**: allocating `evaluate` vs scratch-reusing
+//!    `evaluate_into`, with per-call heap-allocation counts from a counting
+//!    global allocator (`evaluate_into` must be zero in steady state).
+//! 3. **Dispatch overhead**: spawning scoped threads per parallel region vs
+//!    reusing the persistent worker pool.
+//! 4. **Flow parity**: the full differentiable flow with `density_fft`
+//!    on/off — final HPWL and TNS must agree closely (the two backends
+//!    differ only in floating-point rounding).
+//!
+//! Usage: `cargo run --release -p dtp-bench --bin bench_density [-- cells]`
+//! (default 4000). `--smoke` runs a tiny configuration for CI (small grids,
+//! short flows).
+
+use dtp_core::{run_flow, FlowConfig, FlowMode};
+use dtp_liberty::synth::synthetic_pdk;
+use dtp_netlist::generate::{generate, GeneratorConfig};
+use dtp_place::{DensityModel, DensityResult, DensityScratch, PoissonScratch, PoissonSolution, Spectral2D};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+mod alloc_counter {
+    //! Counting wrapper around the system allocator: `allocs()` reads the
+    //! total number of `alloc`/`realloc` calls process-wide.
+    #![allow(unsafe_code)]
+
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    pub struct Counting;
+
+    // SAFETY: defers to `System` for every operation; only adds a counter.
+    unsafe impl GlobalAlloc for Counting {
+        unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(l)
+        }
+        unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+            System.dealloc(p, l)
+        }
+        unsafe fn realloc(&self, p: *mut u8, l: Layout, n: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(p, l, n)
+        }
+    }
+
+    #[global_allocator]
+    static COUNTER: Counting = Counting;
+
+    pub fn allocs() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+}
+
+/// Mean nanoseconds per call of `f` (warmup + ~0.5 s of repetitions).
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    for _ in 0..2 {
+        f();
+    }
+    let probe = Instant::now();
+    f();
+    let once = probe.elapsed().as_secs_f64();
+    let reps = ((0.5 / once.max(1e-6)) as usize).clamp(5, 200);
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t0.elapsed().as_secs_f64() * 1e9 / reps as f64
+}
+
+/// Heap allocations per call of `f`, averaged over `reps` post-warmup calls.
+fn allocs_per_call(reps: u64, mut f: impl FnMut()) -> f64 {
+    for _ in 0..3 {
+        f();
+    }
+    let before = alloc_counter::allocs();
+    for _ in 0..reps {
+        f();
+    }
+    (alloc_counter::allocs() - before) as f64 / reps as f64
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let cells: usize = args
+        .iter()
+        .find_map(|a| a.parse().ok())
+        .unwrap_or(if smoke { 800 } else { 4000 });
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"design_cells\": {cells},");
+
+    // --- 1. Poisson solve: dense vs FFT ---------------------------------
+    let grids: &[usize] = if smoke { &[64, 128] } else { &[64, 128, 256, 512] };
+    let _ = writeln!(json, "  \"poisson\": {{");
+    println!("Poisson solve (dense vs FFT):");
+    for (gi, &g) in grids.iter().enumerate() {
+        let rho: Vec<f64> = (0..g * g)
+            .map(|k| (((k as u64).wrapping_mul(2654435761) % 1000) as f64) / 500.0 - 1.0)
+            .collect();
+        let fft = Spectral2D::with_fft(g, g, 100.0, 100.0, true);
+        let dense = Spectral2D::with_fft(g, g, 100.0, 100.0, false);
+        assert!(fft.uses_fft() && !dense.uses_fft());
+        let mut scratch = PoissonScratch::new();
+        let mut sol = PoissonSolution::default();
+        let fft_ns = time_ns(|| {
+            fft.solve_into(&rho, &mut scratch, &mut sol);
+            black_box(sol.psi[0]);
+        });
+        let dense_ns = time_ns(|| {
+            dense.solve_into(&rho, &mut scratch, &mut sol);
+            black_box(sol.psi[0]);
+        });
+        let speedup = dense_ns / fft_ns;
+        let comma = if gi + 1 < grids.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    \"grid_{g}\": {{\"dense_ns\": {dense_ns:.0}, \"fft_ns\": {fft_ns:.0}, \
+             \"speedup\": {speedup:.2}}}{comma}"
+        );
+        println!("  {g:>4}²: dense {dense_ns:>13.0} ns | fft {fft_ns:>11.0} ns | {speedup:.1}x");
+    }
+    let _ = writeln!(json, "  }},");
+
+    // --- 2. Density evaluation: evaluate vs evaluate_into ----------------
+    let design = generate(&GeneratorConfig::named("bench_density", cells)).unwrap();
+    let bins = if smoke { 64 } else { 128 };
+    let model = DensityModel::new(&design, bins, bins, 1.0);
+    let (xs, ys) = design.netlist.positions();
+    let evaluate_ns = time_ns(|| {
+        black_box(model.evaluate(&xs, &ys));
+    });
+    let mut dscratch = DensityScratch::new();
+    let mut dres = DensityResult::default();
+    let evaluate_into_ns = time_ns(|| {
+        model.evaluate_into(&xs, &ys, &mut dscratch, &mut dres);
+        black_box(dres.energy);
+    });
+    let evaluate_allocs = allocs_per_call(10, || {
+        black_box(model.evaluate(&xs, &ys));
+    });
+    let evaluate_into_allocs = allocs_per_call(10, || {
+        model.evaluate_into(&xs, &ys, &mut dscratch, &mut dres);
+        black_box(dres.energy);
+    });
+    let _ = writeln!(
+        json,
+        "  \"density_eval\": {{\"bins\": {bins}, \"evaluate_ns\": {evaluate_ns:.0}, \
+         \"evaluate_into_ns\": {evaluate_into_ns:.0}, \
+         \"evaluate_allocs_per_call\": {evaluate_allocs:.1}, \
+         \"evaluate_into_steady_state_allocs\": {evaluate_into_allocs:.1}}},"
+    );
+    println!(
+        "density {bins}²: evaluate {evaluate_ns:.0} ns ({evaluate_allocs:.0} allocs) | \
+         evaluate_into {evaluate_into_ns:.0} ns ({evaluate_into_allocs:.0} allocs)"
+    );
+    assert_eq!(
+        evaluate_into_allocs, 0.0,
+        "evaluate_into must be allocation-free in steady state"
+    );
+
+    // --- 3. Dispatch: scoped spawn vs persistent pool --------------------
+    let threads = 4;
+    let pool = rayon::Pool::new(threads);
+    let pool_ns = time_ns(|| {
+        pool.run(threads, |i| {
+            black_box(i);
+        });
+    });
+    let spawn_ns = time_ns(|| {
+        std::thread::scope(|s| {
+            for i in 1..threads {
+                s.spawn(move || {
+                    black_box(i);
+                });
+            }
+            black_box(0usize);
+        });
+    });
+    let dispatch_speedup = spawn_ns / pool_ns;
+    let _ = writeln!(
+        json,
+        "  \"dispatch\": {{\"threads\": {threads}, \"spawn_ns\": {spawn_ns:.0}, \
+         \"pool_ns\": {pool_ns:.0}, \"speedup\": {dispatch_speedup:.1}}},"
+    );
+    println!(
+        "dispatch ({threads} lanes): scoped spawn {spawn_ns:.0} ns | persistent pool \
+         {pool_ns:.0} ns ({dispatch_speedup:.1}x)"
+    );
+
+    // --- 4. Flow parity: density_fft on vs off ---------------------------
+    let lib = synthetic_pdk();
+    let cfg_fft = FlowConfig {
+        max_iters: if smoke { 120 } else { 500 },
+        trace_timing_every: 0,
+        density_fft: true,
+        ..FlowConfig::default()
+    };
+    let cfg_dense = FlowConfig { density_fft: false, ..cfg_fft };
+    let with_fft = run_flow(&design, &lib, FlowMode::differentiable(), &cfg_fft).unwrap();
+    let with_dense = run_flow(&design, &lib, FlowMode::differentiable(), &cfg_dense).unwrap();
+    let hpwl_delta = (with_fft.hpwl / with_dense.hpwl - 1.0).abs();
+    let tns_delta = if with_dense.tns.abs() > 0.0 {
+        (with_fft.tns.abs() / with_dense.tns.abs() - 1.0).abs()
+    } else {
+        0.0
+    };
+    let _ = writeln!(json, "  \"flow_parity\": {{");
+    for (label, r, comma) in [("fft", &with_fft, ","), ("dense", &with_dense, ",")] {
+        let _ = writeln!(
+            json,
+            "    \"{label}\": {{\"hpwl\": {:.0}, \"wns\": {:.1}, \"tns\": {:.1}, \
+             \"iterations\": {}, \"runtime_s\": {:.2}}}{comma}",
+            r.hpwl, r.wns, r.tns, r.iterations, r.runtime
+        );
+    }
+    let _ = writeln!(
+        json,
+        "    \"hpwl_rel_delta\": {hpwl_delta:.6}, \"tns_rel_delta\": {tns_delta:.6}"
+    );
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+    std::fs::write("BENCH_density.json", &json).expect("write BENCH_density.json");
+
+    println!(
+        "flow parity: fft HPWL {:.0} / TNS {:.1} ({} iters, {:.1} s) vs dense HPWL {:.0} / \
+         TNS {:.1} ({} iters, {:.1} s)",
+        with_fft.hpwl,
+        with_fft.tns,
+        with_fft.iterations,
+        with_fft.runtime,
+        with_dense.hpwl,
+        with_dense.tns,
+        with_dense.iterations,
+        with_dense.runtime
+    );
+    println!("  HPWL delta {:.4}% | TNS delta {:.4}%", hpwl_delta * 100.0, tns_delta * 100.0);
+    println!("wrote BENCH_density.json");
+}

@@ -5,6 +5,7 @@
 //! dtp gen   <name> <cells> <out_dir>        generate a synthetic design (Bookshelf + .lib + .sdc)
 //! dtp sta   <bookshelf_prefix> <lib_file>   timing report for a placed design
 //! dtp place <bookshelf_prefix_or_proxy> [--mode wl|nw|diff] [--out dir] [--svg file]
+//!           [--bins N] [--no-density-fft]
 //!           [--route] [--route-grid N] [--route-capacity C] [--route-weight W]
 //!           [--inflation-max F] [--route-period N]
 //! dtp proxy <sbN> [scale_denom]             print statistics of a superblue proxy
@@ -109,6 +110,7 @@ fn cmd_place(args: &[String]) -> CliResult {
     let Some(spec) = args.first() else {
         return Err(
             "usage: dtp place <design> [--mode wl|nw|diff] [--out dir] [--svg file] \
+             [--bins N] [--no-density-fft] \
              [--route] [--route-grid N] [--route-capacity C] [--route-weight W] \
              [--inflation-max F] [--route-period N]"
                 .into(),
@@ -147,6 +149,14 @@ fn cmd_place(args: &[String]) -> CliResult {
                 svg_path = args.get(i + 1).cloned();
                 i += 2;
             }
+            "--bins" => {
+                config.bins = num(args, i)?;
+                i += 2;
+            }
+            "--no-density-fft" => {
+                config.density_fft = false;
+                i += 1;
+            }
             "--route" => {
                 config.route_aware = true;
                 i += 1;
@@ -173,6 +183,17 @@ fn cmd_place(args: &[String]) -> CliResult {
             }
             other => return Err(format!("unknown option `{other}`").into()),
         }
+    }
+    // The FFT Poisson backend needs a power-of-two grid; round a custom
+    // `--bins` up rather than silently dropping to the dense solver.
+    if config.density_fft && !config.bins.is_power_of_two() {
+        let rounded = config.bins.next_power_of_two();
+        eprintln!(
+            "warning: --bins {} is not a power of two; rounding up to {rounded} so the \
+             FFT density solver applies (use --no-density-fft to keep the exact grid)",
+            config.bins
+        );
+        config.bins = rounded;
     }
     let mut design = load_design(spec)?;
     if design.constraints.clock_port.is_none() && design.constraints.clock_period >= 1000.0 {

@@ -136,6 +136,11 @@ pub struct FlowConfig {
     pub bins: usize,
     /// Target bin density.
     pub target_density: f64,
+    /// Use the O(N log N) FFT-based spectral Poisson solver for the density
+    /// model. Only takes effect when `bins` is a power of two (the radix-2
+    /// transforms require it); other grids fall back to the dense reference
+    /// transforms regardless. `false` forces the dense path everywhere.
+    pub density_fft: bool,
     /// Initial density weight λ as a fraction of the wirelength gradient
     /// norm; 0 = auto-balance.
     pub lambda_init: f64,
@@ -211,6 +216,7 @@ impl Default for FlowConfig {
             stop_overflow: 0.10,
             bins: 64,
             target_density: 1.0,
+            density_fft: true,
             lambda_init: 0.0,
             lambda_growth: 1.05,
             trace_timing_every: 10,

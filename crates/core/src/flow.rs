@@ -21,7 +21,10 @@ use crate::weighting::NetWeighter;
 use dtp_liberty::Library;
 use dtp_netlist::{CellId, Design, NetId, NetlistError};
 use dtp_place::detail::DetailPlacer;
-use dtp_place::{AbacusLegalizer, DensityModel, Legalizer, NesterovOptimizer, WirelengthModel};
+use dtp_place::{
+    AbacusLegalizer, DensityModel, DensityResult, DensityScratch, Legalizer, NesterovOptimizer,
+    WirelengthModel, WirelengthScratch,
+};
 use dtp_route::{inflation_factors, CongestionPenalty, CongestionSummary, RudyMap};
 use dtp_rsmt::{build_forest, SteinerForest};
 use dtp_sta::{Analysis, AnalysisScratch, PositionGradients, StaError, Timer, TimerConfig};
@@ -386,7 +389,13 @@ pub fn run_flow(
 
     // --- models -------------------------------------------------------------
     let wl_model = WirelengthModel::new(&work.netlist);
-    let mut density = DensityModel::new(&work, config.bins, config.bins, config.target_density);
+    let mut density = DensityModel::with_options(
+        &work,
+        config.bins,
+        config.bins,
+        config.target_density,
+        config.density_fft,
+    );
     let bin_w = work.region.width() / config.bins as f64;
     let (timer_gamma, wire_model) = match mode {
         FlowMode::Differentiable(d) => (d.gamma, d.wire_model.into()),
@@ -425,6 +434,14 @@ pub fn run_flow(
     // iteration instead of allocating two fresh Vecs).
     let mut vx: Vec<f64> = Vec::new();
     let mut vy: Vec<f64> = Vec::new();
+    // Persistent gradient-path buffers: with these, the steady-state
+    // wirelength + density + timing gradient evaluation allocates nothing.
+    let mut wl_scratch = WirelengthScratch::new();
+    let mut gx: Vec<f64> = Vec::new();
+    let mut gy: Vec<f64> = Vec::new();
+    let mut dscratch = DensityScratch::new();
+    let mut dres = DensityResult::default();
+    let mut precond: Vec<f64> = Vec::new();
     let mut lambda = config.lambda_init;
     let mut overflow = 1.0f64;
     let mut trace = Vec::new();
@@ -535,10 +552,18 @@ pub fn run_flow(
             Some(rs) if rs.boosted => Some(rs.combined.as_slice()),
             _ => weighter.as_ref().map(NetWeighter::weights),
         };
-        let (_wl, mut gx, mut gy) = wl_model.wa_gradient(&vx, &vy, wa_gamma, weights);
+        let _wl = wl_model.wa_gradient_into(
+            &vx,
+            &vy,
+            wa_gamma,
+            weights,
+            &mut wl_scratch,
+            &mut gx,
+            &mut gy,
+        );
 
         // Density gradient.
-        let dres = density.compute(&vx, &vy);
+        density.evaluate_into(&vx, &vy, &mut dscratch, &mut dres);
         overflow = dres.overflow;
         if lambda == 0.0 {
             // Auto-balance λ against the wirelength gradient on iteration 0.
@@ -747,10 +772,10 @@ pub fn run_flow(
             });
         }
 
-        // Preconditioned Nesterov step.
-        let precond: Vec<f64> = (0..nl_cells)
-            .map(|i| (pin_count[i] + lambda * areas[i]).max(1.0))
-            .collect();
+        // Preconditioned Nesterov step (persistent buffer, no per-iteration
+        // allocation).
+        precond.clear();
+        precond.extend((0..nl_cells).map(|i| (pin_count[i] + lambda * areas[i]).max(1.0)));
         opt.step(&gx, &gy, &precond);
         lambda *= config.lambda_growth;
 

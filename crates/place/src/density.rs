@@ -1,9 +1,20 @@
 //! Electrostatic density model (ePlace): charge stamping, Poisson solve,
 //! per-cell field gradients, and the density-overflow metric that drives the
 //! λ schedule and the global-placement stop criterion.
+//!
+//! [`DensityModel::evaluate_into`] is the hot-path entry point: every
+//! intermediate (per-chunk bin accumulators, the density grid, the Poisson
+//! scratch and solution, per-chunk energy partials) lives in a caller-owned
+//! [`DensityScratch`], so steady-state evaluations inside the Nesterov loop
+//! perform zero heap allocations — the same pattern as the STA engine's
+//! `AnalysisScratch`. Charge stamping and the field-gradient sweep run
+//! chunk-parallel on the persistent worker pool with a fixed partition, so
+//! results are deterministic for a given pool width; the per-chunk bin grids
+//! are tree-reduced in chunk order.
 
-use crate::spectral::Spectral2D;
+use crate::spectral::{PoissonScratch, PoissonSolution, Spectral2D};
 use dtp_netlist::{Design, Rect};
+use rayon::prelude::*;
 
 /// The density model for one design.
 #[derive(Clone, Debug)]
@@ -29,8 +40,10 @@ pub struct DensityModel {
     movable_area: f64,
 }
 
-/// The result of one density evaluation.
-#[derive(Clone, Debug)]
+/// The result of one density evaluation. Reused across iterations by
+/// [`DensityModel::evaluate_into`]; [`Default`] gives an empty result to
+/// initialize the slot.
+#[derive(Clone, Debug, Default)]
 pub struct DensityResult {
     /// Electrostatic energy `½ Σ qᵢ ψ(cᵢ)`. The half makes the reported
     /// per-cell field gradient `qᵢ·∂ψ/∂x` the exact derivative of this value
@@ -48,14 +61,60 @@ pub struct DensityResult {
     pub max_density: f64,
 }
 
+/// Reusable intermediates for [`DensityModel::evaluate_into`]. Buffers grow
+/// on first use; steady-state evaluations allocate nothing.
+#[derive(Clone, Debug, Default)]
+pub struct DensityScratch {
+    /// Per-chunk bin accumulators (`chunks × (m·n)`, flattened) for the
+    /// parallel charge stamp.
+    acc: Vec<f64>,
+    /// Reduced density grid ρ.
+    rho: Vec<f64>,
+    /// Mean-removed, area-normalized density ρ̂.
+    rho_hat: Vec<f64>,
+    /// Per-chunk energy partials, reduced in chunk order.
+    energy: Vec<f64>,
+    /// Spectral transform intermediates.
+    poisson: PoissonScratch,
+    /// Reused ψ / ∂ψ grids.
+    sol: PoissonSolution,
+}
+
+impl DensityScratch {
+    /// Creates an empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> DensityScratch {
+        DensityScratch::default()
+    }
+}
+
+/// Resizes without preserving contents.
+fn ensure_len(v: &mut Vec<f64>, len: usize) {
+    v.clear();
+    v.resize(len, 0.0);
+}
+
 impl DensityModel {
     /// Builds the model with an `m × n` bin grid and a target density
-    /// (fraction of each bin allowed to be filled, e.g. 1.0).
+    /// (fraction of each bin allowed to be filled, e.g. 1.0). The FFT
+    /// transform backend is selected automatically for power-of-two grids.
     ///
     /// # Panics
     ///
     /// Panics if the grid is degenerate.
     pub fn new(design: &Design, m: usize, n: usize, target_density: f64) -> DensityModel {
+        DensityModel::with_options(design, m, n, target_density, true)
+    }
+
+    /// Like [`DensityModel::new`] with an explicit transform-backend policy:
+    /// `allow_fft = false` forces the dense reference transforms even on
+    /// power-of-two grids.
+    pub fn with_options(
+        design: &Design,
+        m: usize,
+        n: usize,
+        target_density: f64,
+        allow_fft: bool,
+    ) -> DensityModel {
         let region = design.region;
         let nl = &design.netlist;
         let bin_w = region.width() / m as f64;
@@ -84,7 +143,7 @@ impl DensityModel {
             n,
             bin_w,
             bin_h,
-            spectral: Spectral2D::new(m, n, region.width(), region.height()),
+            spectral: Spectral2D::with_fft(m, n, region.width(), region.height(), allow_fft),
             w_eff,
             h_eff,
             w_true,
@@ -101,6 +160,19 @@ impl DensityModel {
         (self.m, self.n)
     }
 
+    /// True when the spectral solve runs on the radix-2 FFT backend.
+    pub fn uses_fft(&self) -> bool {
+        self.spectral.uses_fft()
+    }
+
+    /// Stable identity of the shared spectral basis resources (see
+    /// `Spectral2D::basis_token`); used to assert that inflation updates
+    /// never rebuild the transform bases.
+    #[doc(hidden)]
+    pub fn basis_token(&self) -> (usize, usize) {
+        self.spectral.basis_token()
+    }
+
     /// Applies per-cell area inflation factors (congestion-driven cell
     /// bloating): cell `c` gets charge `base_area · f[c]` and its effective
     /// footprint grows by `√f[c]` per side (still floored at the bin size),
@@ -109,7 +181,9 @@ impl DensityModel {
     /// Factors apply to the *uninflated* baseline — calling this repeatedly
     /// replaces, never compounds, the previous factors; `set_inflation(&[1.0;
     /// n])` restores the original model exactly. Fixed cells are unaffected
-    /// (their charge is 0).
+    /// (their charge is 0). The spectral bases are untouched — inflation
+    /// changes charges, not grid geometry — so repeated updates cost O(cells),
+    /// not a transform rebuild.
     ///
     /// # Panics
     ///
@@ -132,63 +206,136 @@ impl DensityModel {
     }
 
     /// Evaluates density energy, overflow and per-cell gradients at the given
-    /// lower-left cell positions.
+    /// lower-left cell positions. Allocating convenience wrapper over
+    /// [`DensityModel::evaluate_into`] (bit-for-bit identical results).
     ///
     /// # Panics
     ///
     /// Panics if the position slices are shorter than the cell count.
-    pub fn compute(&self, xs: &[f64], ys: &[f64]) -> DensityResult {
+    pub fn evaluate(&self, xs: &[f64], ys: &[f64]) -> DensityResult {
+        let mut out = DensityResult::default();
+        self.evaluate_into(xs, ys, &mut DensityScratch::new(), &mut out);
+        out
+    }
+
+    /// Evaluates density energy, overflow and per-cell gradients into a
+    /// reused result, with every intermediate in caller-owned `scratch`:
+    /// zero heap allocation once the buffers have grown to size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position slices are shorter than the cell count.
+    pub fn evaluate_into(
+        &self,
+        xs: &[f64],
+        ys: &[f64],
+        scratch: &mut DensityScratch,
+        out: &mut DensityResult,
+    ) {
         let n_cells = self.charge.len();
-        let mut rho = vec![0.0f64; self.m * self.n];
+        assert!(xs.len() >= n_cells && ys.len() >= n_cells);
+        let bins = self.m * self.n;
         let bin_area = self.bin_w * self.bin_h;
 
-        // Stamp inflated cells into bins by overlap, preserving charge.
-        for c in 0..n_cells {
-            let q = self.charge[c];
-            if q == 0.0 {
-                continue;
-            }
-            let (w, h) = (self.w_eff[c], self.h_eff[c]);
-            // Center the inflated footprint on the true cell center.
-            let cx = xs[c] + 0.5 * self.w_true[c];
-            let cy = ys[c] + 0.5 * self.h_true[c];
-            let rect = Rect::new(cx - 0.5 * w, cy - 0.5 * h, cx + 0.5 * w, cy + 0.5 * h);
-            let scale = q / (w * h);
-            self.stamp(&mut rho, &rect, scale);
-        }
+        // Fixed partition: one cell chunk per pool thread. Determinism
+        // follows from the chunk-ordered reductions below.
+        let threads = rayon::current_num_threads();
+        let cell_chunk = n_cells.div_ceil(threads).max(1);
+        let chunks = n_cells.div_ceil(cell_chunk).max(1);
 
-        // Overflow and peak density (per bin area).
+        // --- Parallel charge stamp: per-chunk bin accumulators ----------
+        ensure_len(&mut scratch.acc, chunks * bins);
+        scratch.acc.par_chunks_mut(bins).enumerate().for_each(|(ci, acc)| {
+            acc.fill(0.0);
+            let lo = ci * cell_chunk;
+            let hi = (lo + cell_chunk).min(n_cells);
+            for c in lo..hi {
+                let q = self.charge[c];
+                if q == 0.0 {
+                    continue;
+                }
+                let (w, h) = (self.w_eff[c], self.h_eff[c]);
+                // Center the inflated footprint on the true cell center.
+                let cx = xs[c] + 0.5 * self.w_true[c];
+                let cy = ys[c] + 0.5 * self.h_true[c];
+                let rect = Rect::new(cx - 0.5 * w, cy - 0.5 * h, cx + 0.5 * w, cy + 0.5 * h);
+                self.stamp(acc, &rect, q / (w * h));
+            }
+        });
+
+        // --- Tree reduction in chunk order ------------------------------
+        ensure_len(&mut scratch.rho, bins);
+        let acc = &scratch.acc;
+        let bin_chunk = bins.div_ceil(threads).max(1);
+        scratch.rho.par_chunks_mut(bin_chunk).enumerate().for_each(|(bi, rho)| {
+            let base = bi * bin_chunk;
+            for (k, r) in rho.iter_mut().enumerate() {
+                let mut s = 0.0;
+                for ci in 0..chunks {
+                    s += acc[ci * bins + base + k];
+                }
+                *r = s;
+            }
+        });
+
+        // Overflow and peak density (per bin area); serial over the bin
+        // grid in index order (deterministic).
         let mut overflow = 0.0;
         let mut max_density: f64 = 0.0;
-        for &r in &rho {
+        let mut total = 0.0;
+        for &r in &scratch.rho {
             overflow += (r - self.target_density * bin_area).max(0.0);
             max_density = max_density.max(r / bin_area);
+            total += r;
         }
         overflow /= self.movable_area.max(1e-12);
+        let mean = total / bins as f64;
 
         // Poisson solve on mean-removed density (per unit area).
-        let mean = rho.iter().sum::<f64>() / rho.len() as f64;
-        let rho_hat: Vec<f64> = rho.iter().map(|&r| (r - mean) / bin_area).collect();
-        let sol = self.spectral.solve(&rho_hat);
-
-        // Energy and per-cell field (bilinear interpolation at cell centers).
-        let mut grad_x = vec![0.0; n_cells];
-        let mut grad_y = vec![0.0; n_cells];
-        let mut energy = 0.0;
-        for c in 0..n_cells {
-            let q = self.charge[c];
-            if q == 0.0 {
-                continue;
+        ensure_len(&mut scratch.rho_hat, bins);
+        let rho = &scratch.rho;
+        scratch.rho_hat.par_chunks_mut(bin_chunk).enumerate().for_each(|(bi, hat)| {
+            let base = bi * bin_chunk;
+            for (k, h) in hat.iter_mut().enumerate() {
+                *h = (rho[base + k] - mean) / bin_area;
             }
-            let cx = xs[c] + 0.5 * self.w_true[c];
-            let cy = ys[c] + 0.5 * self.h_true[c];
-            let (psi, ex, ey) = self.sample(&sol.psi, &sol.dpsi_dx, &sol.dpsi_dy, cx, cy);
-            energy += 0.5 * q * psi;
-            grad_x[c] = q * ex;
-            grad_y[c] = q * ey;
-        }
+        });
+        self.spectral.solve_into(&scratch.rho_hat, &mut scratch.poisson, &mut scratch.sol);
 
-        DensityResult { energy, overflow, grad_x, grad_y, max_density }
+        // --- Energy and per-cell field (bilinear at cell centers) --------
+        ensure_len(&mut out.grad_x, n_cells);
+        ensure_len(&mut out.grad_y, n_cells);
+        ensure_len(&mut scratch.energy, chunks);
+        let sol = &scratch.sol;
+        out.grad_x
+            .par_chunks_mut(cell_chunk)
+            .zip(out.grad_y.par_chunks_mut(cell_chunk))
+            .zip(scratch.energy.par_chunks_mut(1))
+            .enumerate()
+            .for_each(|(ci, ((gx, gy), e))| {
+                let lo = ci * cell_chunk;
+                let mut acc_e = 0.0;
+                for (k, (gxc, gyc)) in gx.iter_mut().zip(gy.iter_mut()).enumerate() {
+                    let c = lo + k;
+                    let q = self.charge[c];
+                    if q == 0.0 {
+                        *gxc = 0.0;
+                        *gyc = 0.0;
+                        continue;
+                    }
+                    let cx = xs[c] + 0.5 * self.w_true[c];
+                    let cy = ys[c] + 0.5 * self.h_true[c];
+                    let (psi, ex, ey) = self.sample(&sol.psi, &sol.dpsi_dx, &sol.dpsi_dy, cx, cy);
+                    acc_e += 0.5 * q * psi;
+                    *gxc = q * ex;
+                    *gyc = q * ey;
+                }
+                e[0] = acc_e;
+            });
+
+        out.energy = scratch.energy.iter().sum();
+        out.overflow = overflow;
+        out.max_density = max_density;
     }
 
     /// Adds `scale · overlap(rect, bin)` to each bin.
@@ -250,7 +397,7 @@ mod tests {
     fn overflow_high_when_clustered_low_when_spread() {
         let (d, model) = setup();
         let (xs, ys) = d.netlist.positions();
-        let spread = model.compute(&xs, &ys);
+        let spread = model.evaluate(&xs, &ys);
         // Pile every movable cell at the center.
         let c = d.region.center();
         let mut cx = xs.clone();
@@ -259,7 +406,7 @@ mod tests {
             cx[cell.index()] = c.x;
             cy[cell.index()] = c.y;
         }
-        let packed = model.compute(&cx, &cy);
+        let packed = model.evaluate(&cx, &cy);
         assert!(
             packed.overflow > spread.overflow,
             "packed {} vs spread {}",
@@ -285,7 +432,7 @@ mod tests {
         }
         let probe = movable[0];
         cx[probe.index()] = d.region.xl + 0.30 * d.region.width();
-        let res = model.compute(&cx, &cy);
+        let res = model.evaluate(&cx, &cy);
         // Descending the gradient must move the probe right (away from the
         // cluster): ∂E/∂x < 0 would move it left, so expect positive-to-right
         // push, i.e. grad_x > 0 means energy decreases by moving −x... the
@@ -307,7 +454,7 @@ mod tests {
         // directional agreement (cosine similarity) tightly.
         let (d, model) = setup();
         let (mut xs, mut ys) = d.netlist.positions();
-        let res = model.compute(&xs, &ys);
+        let res = model.evaluate(&xs, &ys);
         let h = 1e-4;
         let movable: Vec<_> = d.netlist.movable_cells().collect();
         let mut dot = 0.0;
@@ -321,16 +468,16 @@ mod tests {
                 if axis == 0 {
                     v0 = xs[i];
                     xs[i] = v0 + h;
-                    fp = model.compute(&xs, &ys).energy;
+                    fp = model.evaluate(&xs, &ys).energy;
                     xs[i] = v0 - h;
-                    fm = model.compute(&xs, &ys).energy;
+                    fm = model.evaluate(&xs, &ys).energy;
                     xs[i] = v0;
                 } else {
                     v0 = ys[i];
                     ys[i] = v0 + h;
-                    fp = model.compute(&xs, &ys).energy;
+                    fp = model.evaluate(&xs, &ys).energy;
                     ys[i] = v0 - h;
-                    fm = model.compute(&xs, &ys).energy;
+                    fm = model.evaluate(&xs, &ys).energy;
                     ys[i] = v0;
                 }
                 let num = (fp - fm) / (2.0 * h);
@@ -349,10 +496,28 @@ mod tests {
     }
 
     #[test]
+    fn evaluate_into_is_bitwise_identical_to_evaluate() {
+        let (d, model) = setup();
+        assert!(model.uses_fft());
+        let (xs, ys) = d.netlist.positions();
+        let fresh = model.evaluate(&xs, &ys);
+        let mut scratch = DensityScratch::new();
+        let mut out = DensityResult::default();
+        // Run through the same scratch twice so reuse is exercised.
+        model.evaluate_into(&xs, &ys, &mut scratch, &mut out);
+        model.evaluate_into(&xs, &ys, &mut scratch, &mut out);
+        assert_eq!(fresh.energy, out.energy);
+        assert_eq!(fresh.overflow, out.overflow);
+        assert_eq!(fresh.max_density, out.max_density);
+        assert_eq!(fresh.grad_x, out.grad_x);
+        assert_eq!(fresh.grad_y, out.grad_y);
+    }
+
+    #[test]
     fn inflation_replaces_and_restores_exactly() {
         let (d, mut model) = setup();
         let (xs, ys) = d.netlist.positions();
-        let base = model.compute(&xs, &ys);
+        let base = model.evaluate(&xs, &ys);
 
         let n = d.netlist.num_cells();
         let mut factors = vec![1.0; n];
@@ -360,7 +525,7 @@ mod tests {
             factors[c.index()] = 2.0;
         }
         model.set_inflation(&factors);
-        let inflated = model.compute(&xs, &ys);
+        let inflated = model.evaluate(&xs, &ys);
         assert!(
             inflated.max_density > base.max_density,
             "inflated charge must raise peak density: {} vs {}",
@@ -371,12 +536,12 @@ mod tests {
         // Applying again must replace, not compound; all-ones restores the
         // original model bit-for-bit.
         model.set_inflation(&factors);
-        let again = model.compute(&xs, &ys);
+        let again = model.evaluate(&xs, &ys);
         assert_eq!(again.energy, inflated.energy);
         assert_eq!(again.overflow, inflated.overflow);
 
         model.set_inflation(&vec![1.0; n]);
-        let restored = model.compute(&xs, &ys);
+        let restored = model.evaluate(&xs, &ys);
         assert_eq!(restored.energy, base.energy);
         assert_eq!(restored.overflow, base.overflow);
         assert_eq!(restored.grad_x, base.grad_x);
@@ -384,10 +549,27 @@ mod tests {
     }
 
     #[test]
+    fn inflation_never_rebuilds_spectral_bases() {
+        let (d, mut model) = setup();
+        let token = model.basis_token();
+        let n = d.netlist.num_cells();
+        for round in 0..5 {
+            let factors = vec![1.0 + 0.1 * round as f64; n];
+            model.set_inflation(&factors);
+            let (xs, ys) = d.netlist.positions();
+            let _ = model.evaluate(&xs, &ys);
+            assert_eq!(model.basis_token(), token, "inflation must not rebuild bases");
+        }
+        // A second model on the same grid shares the cached bases outright.
+        let other = DensityModel::new(&d, 32, 32, 1.0);
+        assert_eq!(other.basis_token(), token);
+    }
+
+    #[test]
     fn fixed_cells_carry_no_charge() {
         let (d, model) = setup();
         let (xs, ys) = d.netlist.positions();
-        let res = model.compute(&xs, &ys);
+        let res = model.evaluate(&xs, &ys);
         for c in d.netlist.cell_ids() {
             if d.netlist.cell(c).is_fixed() {
                 assert_eq!(res.grad_x[c.index()], 0.0);

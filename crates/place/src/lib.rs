@@ -23,6 +23,7 @@
 
 mod abacus;
 pub mod detail;
+pub mod fft;
 pub mod plot;
 mod density;
 mod legalize;
@@ -31,8 +32,8 @@ mod spectral;
 mod wirelength;
 
 pub use abacus::AbacusLegalizer;
-pub use density::{DensityModel, DensityResult};
+pub use density::{DensityModel, DensityResult, DensityScratch};
 pub use legalize::{check_legal, Legalizer};
 pub use optimizer::{AdamOptimizer, NesterovOptimizer};
-pub use spectral::Spectral2D;
-pub use wirelength::WirelengthModel;
+pub use spectral::{PoissonScratch, PoissonSolution, Spectral2D};
+pub use wirelength::{WirelengthModel, WirelengthScratch};

@@ -51,8 +51,17 @@ pub struct NesterovOptimizer {
     /// Lookahead point (vₖ) — where the gradient is evaluated.
     v_x: Vec<f64>,
     v_y: Vec<f64>,
-    prev_v: Option<(Vec<f64>, Vec<f64>)>,
-    prev_g: Option<(Vec<f64>, Vec<f64>)>,
+    /// Previous lookahead point / preconditioned gradient for the BB step;
+    /// persistent buffers, valid once `have_prev` is set.
+    prev_v_x: Vec<f64>,
+    prev_v_y: Vec<f64>,
+    prev_g_x: Vec<f64>,
+    prev_g_y: Vec<f64>,
+    /// Persistent buffers for the current preconditioned gradient, swapped
+    /// into `prev_g_*` at the end of each step — no per-step allocation.
+    gxp: Vec<f64>,
+    gyp: Vec<f64>,
+    have_prev: bool,
     a: f64,
     bounds: Bounds,
     /// Fallback step when BB is unavailable (first iteration).
@@ -71,8 +80,13 @@ impl NesterovOptimizer {
             u_y: ys.clone(),
             v_x: xs,
             v_y: ys,
-            prev_v: None,
-            prev_g: None,
+            prev_v_x: Vec::new(),
+            prev_v_y: Vec::new(),
+            prev_g_x: Vec::new(),
+            prev_g_y: Vec::new(),
+            gxp: Vec::new(),
+            gyp: Vec::new(),
+            have_prev: false,
             a: 1.0,
             bounds: Bounds::new(design),
             initial_step,
@@ -94,89 +108,89 @@ impl NesterovOptimizer {
     /// `precond[cell]` (pass 1s for no preconditioning). Returns the step
     /// size used.
     ///
+    /// All intermediates live in persistent buffers owned by the optimizer,
+    /// so steady-state steps perform zero heap allocations.
+    ///
     /// # Panics
     ///
     /// Panics if slice lengths mismatch the cell count.
     pub fn step(&mut self, gx: &[f64], gy: &[f64], precond: &[f64]) -> f64 {
         let n = self.u_x.len();
         assert!(gx.len() == n && gy.len() == n && precond.len() == n);
-        // Preconditioned gradient.
-        let pg = |g: &[f64]| -> Vec<f64> {
-            g.iter()
-                .zip(precond)
-                .map(|(&g, &p)| g / p.max(1e-12))
-                .collect()
-        };
-        let gxp = pg(gx);
-        let gyp = pg(gy);
+        // Preconditioned gradient into the persistent buffers.
+        self.gxp.clear();
+        self.gxp.extend(gx.iter().zip(precond).map(|(&g, &p)| g / p.max(1e-12)));
+        self.gyp.clear();
+        self.gyp.extend(gy.iter().zip(precond).map(|(&g, &p)| g / p.max(1e-12)));
 
         // Barzilai–Borwein step: |Δv·Δg| / |Δg·Δg| on the preconditioned
         // sequence; falls back to a norm-scaled initial step.
-        let alpha = match (&self.prev_v, &self.prev_g) {
-            (Some((pvx, pvy)), Some((pgx, pgy))) => {
-                let mut sy = 0.0;
-                let mut yy = 0.0;
-                for i in 0..n {
-                    if !self.bounds.movable[i] {
-                        continue;
-                    }
-                    let sxv = self.v_x[i] - pvx[i];
-                    let syv = self.v_y[i] - pvy[i];
-                    let yxv = gxp[i] - pgx[i];
-                    let yyv = gyp[i] - pgy[i];
-                    sy += sxv * yxv + syv * yyv;
-                    yy += yxv * yxv + yyv * yyv;
+        let alpha = if self.have_prev {
+            let mut sy = 0.0;
+            let mut yy = 0.0;
+            for i in 0..n {
+                if !self.bounds.movable[i] {
+                    continue;
                 }
-                if yy > 1e-24 {
-                    (sy.abs() / yy).clamp(1e-9, 1e7)
-                } else {
-                    self.initial_step
-                }
+                let sxv = self.v_x[i] - self.prev_v_x[i];
+                let syv = self.v_y[i] - self.prev_v_y[i];
+                let yxv = self.gxp[i] - self.prev_g_x[i];
+                let yyv = self.gyp[i] - self.prev_g_y[i];
+                sy += sxv * yxv + syv * yyv;
+                yy += yxv * yxv + yyv * yyv;
             }
-            _ => {
-                let gmax = gxp
-                    .iter()
-                    .chain(gyp.iter())
-                    .fold(0.0f64, |m, &g| m.max(g.abs()));
-                if gmax > 0.0 {
-                    self.initial_step / gmax
-                } else {
-                    self.initial_step
-                }
+            if yy > 1e-24 {
+                (sy.abs() / yy).clamp(1e-9, 1e7)
+            } else {
+                self.initial_step
+            }
+        } else {
+            let gmax = self
+                .gxp
+                .iter()
+                .chain(self.gyp.iter())
+                .fold(0.0f64, |m, &g| m.max(g.abs()));
+            if gmax > 0.0 {
+                self.initial_step / gmax
+            } else {
+                self.initial_step
             }
         };
 
         // u_{k+1} = clamp(v_k − α g); v_{k+1} = u_{k+1} + coef (u_{k+1} − u_k).
         let a_next = 0.5 * (1.0 + (4.0 * self.a * self.a + 1.0).sqrt());
         let coef = (self.a - 1.0) / a_next;
-        let mut new_u_x = self.u_x.clone();
-        let mut new_u_y = self.u_y.clone();
-        let mut new_v_x = self.v_x.clone();
-        let mut new_v_y = self.v_y.clone();
+        // Save vₖ as the next BB reference, then update u and v in place
+        // (fixed cells keep their entries untouched).
+        copy_into(&mut self.prev_v_x, &self.v_x);
+        copy_into(&mut self.prev_v_y, &self.v_y);
         for i in 0..n {
             if !self.bounds.movable[i] {
                 continue;
             }
             let (ux, uy) = self
                 .bounds
-                .clamp(i, self.v_x[i] - alpha * gxp[i], self.v_y[i] - alpha * gyp[i]);
+                .clamp(i, self.v_x[i] - alpha * self.gxp[i], self.v_y[i] - alpha * self.gyp[i]);
             let (vx, vy) = self
                 .bounds
                 .clamp(i, ux + coef * (ux - self.u_x[i]), uy + coef * (uy - self.u_y[i]));
-            new_u_x[i] = ux;
-            new_u_y[i] = uy;
-            new_v_x[i] = vx;
-            new_v_y[i] = vy;
+            self.u_x[i] = ux;
+            self.u_y[i] = uy;
+            self.v_x[i] = vx;
+            self.v_y[i] = vy;
         }
-        self.prev_v = Some((std::mem::take(&mut self.v_x), std::mem::take(&mut self.v_y)));
-        self.prev_g = Some((gxp, gyp));
-        self.u_x = new_u_x;
-        self.u_y = new_u_y;
-        self.v_x = new_v_x;
-        self.v_y = new_v_y;
+        std::mem::swap(&mut self.prev_g_x, &mut self.gxp);
+        std::mem::swap(&mut self.prev_g_y, &mut self.gyp);
+        self.have_prev = true;
         self.a = a_next;
         alpha
     }
+}
+
+/// Reuses `dst` as a copy of `src` (no allocation once capacity exists).
+fn copy_into(dst: &mut Vec<f64>, src: &[f64]) {
+    dst.clear();
+    dst.extend_from_slice(src);
 }
 
 /// Adam optimizer over cell positions (ablation alternative).

@@ -3,31 +3,94 @@
 //! Solves `∇²ψ = −ρ̂` (ρ̂ = bin density minus its mean) with Neumann
 //! boundaries by expanding ρ̂ in the DCT-II (cosine-at-midpoints) basis:
 //! `ρ̂ = Σ a_uv cos(w_u x) cos(w_v y)` with `w_u = πu/W`, giving
-//! `ψ_uv = a_uv / (w_u² + w_v²)` and closed-form derivatives. The transforms
-//! are implemented as dense basis-matrix products (the grids are ≤ 256², so
-//! an O(m³) separable product, rayon-parallel over rows, beats the constant
-//! factors of an FFT at this scale and keeps the code dependency-free).
+//! `ψ_uv = a_uv / (w_u² + w_v²)` and closed-form derivatives.
+//!
+//! Two transform backends share the same spectral math:
+//!
+//! * **FFT** (`O(N log N)`, [`crate::fft`]): row/column sweeps of the
+//!   radix-2 real-FFT DCT with two cache-friendly transposes per 2-D
+//!   transform. Selected automatically when *both* grid dimensions are
+//!   powers of two ≥ 2 — the only shapes the radix-2 kernels handle.
+//! * **Dense** (`O(m³)` separable basis-matrix products): the reference
+//!   implementation, kept as the fallback for odd sizes and as the parity
+//!   oracle for the FFT path in tests.
+//!
+//! Per-axis resources are shared across solver instances: dense cosine/sine
+//! tables depend only on the axis *bin count* (the physical extent enters
+//! solely through the frequencies `w_u`, stored per instance), so they live
+//! in a global weak cache keyed by length — rebuilding a `DensityModel`
+//! after `set_inflation`, or building several models on the same grid, costs
+//! no basis recomputation. FFT plans are cached the same way in
+//! [`crate::fft::DctPlan::get`].
+//!
+//! [`Spectral2D::solve_into`] is the allocation-free entry point: all
+//! intermediates live in a caller-owned [`PoissonScratch`] and the outputs
+//! in a reused [`PoissonSolution`], mirroring the `AnalysisScratch` pattern
+//! of the STA hot path.
 
+use crate::fft::{is_pow2, DctPlan};
 use rayon::prelude::*;
+use std::sync::{Arc, Mutex, OnceLock, Weak};
 
-/// Precomputed cosine/sine bases for one grid geometry.
+/// Dense cosine/sine basis tables for one axis length `k`: `cos/sin(πu(i+½)/k)`
+/// at `[i*k + u]`. Extent-independent, hence cacheable by `k` alone.
+#[derive(Debug)]
+struct AxisBases {
+    cos: Vec<f64>,
+    sin: Vec<f64>,
+}
+
+impl AxisBases {
+    /// Returns the (globally cached) dense tables for axis length `k`.
+    fn get(k: usize) -> Arc<AxisBases> {
+        type BasisCache = Mutex<Vec<(usize, Weak<AxisBases>)>>;
+        static CACHE: OnceLock<BasisCache> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
+        let mut reg = cache.lock().unwrap();
+        reg.retain(|(_, w)| w.strong_count() > 0);
+        if let Some((_, w)) = reg.iter().find(|(len, _)| *len == k) {
+            if let Some(b) = w.upgrade() {
+                return b;
+            }
+        }
+        let mut cos = vec![0.0; k * k];
+        let mut sin = vec![0.0; k * k];
+        for i in 0..k {
+            // Midpoint of bin i in normalized angle: πu(i+0.5)/k.
+            for u in 0..k {
+                let ang = std::f64::consts::PI * u as f64 * (i as f64 + 0.5) / k as f64;
+                cos[i * k + u] = ang.cos();
+                sin[i * k + u] = ang.sin();
+            }
+        }
+        let bases = Arc::new(AxisBases { cos, sin });
+        reg.push((k, Arc::downgrade(&bases)));
+        bases
+    }
+}
+
+/// Transform backend: shared-cache handles per axis.
+#[derive(Clone, Debug)]
+enum Backend {
+    /// Dense basis-product reference path.
+    Dense { x: Arc<AxisBases>, y: Arc<AxisBases> },
+    /// Radix-2 real-FFT path (both axes power-of-two).
+    Fft { x: Arc<DctPlan>, y: Arc<DctPlan> },
+}
+
+/// Spectral solver for one grid geometry (see module docs).
 #[derive(Clone, Debug)]
 pub struct Spectral2D {
     m: usize,
     n: usize,
-    /// cos(w_u x_i), `m × m`, index `[i*m + u]`.
-    cos_x: Vec<f64>,
-    /// sin(w_u x_i).
-    sin_x: Vec<f64>,
-    cos_y: Vec<f64>,
-    sin_y: Vec<f64>,
     /// Physical frequencies πu/W.
     wu: Vec<f64>,
     wv: Vec<f64>,
+    backend: Backend,
 }
 
 /// The solved potential and its spatial derivatives on the bin grid.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct PoissonSolution {
     /// Potential ψ per bin, `[i*n + j]`.
     pub psi: Vec<f64>,
@@ -37,34 +100,62 @@ pub struct PoissonSolution {
     pub dpsi_dy: Vec<f64>,
 }
 
+/// Reusable intermediates for [`Spectral2D::solve_into`] /
+/// [`Spectral2D::dct2_into`]. Buffers grow on first use and are reused
+/// verbatim afterwards — steady-state calls allocate nothing.
+#[derive(Clone, Debug, Default)]
+pub struct PoissonScratch {
+    /// Forward coefficients `a_uv`.
+    a: Vec<f64>,
+    /// Synthesis coefficients (`a/k²` and its `w`-scaled variants).
+    c: Vec<f64>,
+    /// Transform ping buffer (`m × n` or transposed `n × m`).
+    t1: Vec<f64>,
+    /// Transform pong buffer.
+    t2: Vec<f64>,
+    /// Per-chunk complex FFT strips (`chunks × (len + 2)`).
+    cplx: Vec<f64>,
+}
+
+impl PoissonScratch {
+    /// Creates an empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> PoissonScratch {
+        PoissonScratch::default()
+    }
+}
+
+/// Resizes `v` without preserving contents (still no realloc when shrinking
+/// or steady-state equal-size calls).
+fn ensure_len(v: &mut Vec<f64>, len: usize) {
+    v.clear();
+    v.resize(len, 0.0);
+}
+
 impl Spectral2D {
-    /// Builds the bases for an `m × n` grid over a `width × height` region.
+    /// Builds the solver for an `m × n` grid over a `width × height` region,
+    /// selecting the FFT backend automatically for power-of-two grids.
     ///
     /// # Panics
     ///
     /// Panics if `m`, `n` are zero or the region is degenerate.
     pub fn new(m: usize, n: usize, width: f64, height: f64) -> Spectral2D {
+        Spectral2D::with_fft(m, n, width, height, true)
+    }
+
+    /// Like [`Spectral2D::new`] but with explicit backend policy: when
+    /// `allow_fft` is false the dense reference path is used even on
+    /// power-of-two grids.
+    pub fn with_fft(m: usize, n: usize, width: f64, height: f64, allow_fft: bool) -> Spectral2D {
         assert!(m > 0 && n > 0 && width > 0.0 && height > 0.0);
-        let build = |k: usize, extent: f64| {
-            let mut cos_t = vec![0.0; k * k];
-            let mut sin_t = vec![0.0; k * k];
-            let mut w = vec![0.0; k];
-            for (u, wk) in w.iter_mut().enumerate() {
-                *wk = std::f64::consts::PI * u as f64 / extent;
-            }
-            for i in 0..k {
-                // Midpoint of bin i in normalized angle: πu(i+0.5)/k.
-                for u in 0..k {
-                    let ang = std::f64::consts::PI * u as f64 * (i as f64 + 0.5) / k as f64;
-                    cos_t[i * k + u] = ang.cos();
-                    sin_t[i * k + u] = ang.sin();
-                }
-            }
-            (cos_t, sin_t, w)
+        let freqs = |k: usize, extent: f64| -> Vec<f64> {
+            (0..k).map(|u| std::f64::consts::PI * u as f64 / extent).collect()
         };
-        let (cos_x, sin_x, wu) = build(m, width);
-        let (cos_y, sin_y, wv) = build(n, height);
-        Spectral2D { m, n, cos_x, sin_x, cos_y, sin_y, wu, wv }
+        let backend = if allow_fft && m >= 2 && n >= 2 && is_pow2(m) && is_pow2(n) {
+            Backend::Fft { x: DctPlan::get(m), y: DctPlan::get(n) }
+        } else {
+            Backend::Dense { x: AxisBases::get(m), y: AxisBases::get(n) }
+        };
+        Spectral2D { m, n, wu: freqs(m, width), wv: freqs(n, height), backend }
     }
 
     /// Grid size `(m, n)`.
@@ -72,39 +163,163 @@ impl Spectral2D {
         (self.m, self.n)
     }
 
-    /// Forward DCT-II of `grid` (`m × n`, row-major over x): coefficients
-    /// `a_uv` such that `grid_ij = Σ a_uv cos·cos` exactly.
-    pub fn dct2(&self, grid: &[f64]) -> Vec<f64> {
+    /// True when the radix-2 FFT backend is active.
+    pub fn uses_fft(&self) -> bool {
+        matches!(self.backend, Backend::Fft { .. })
+    }
+
+    /// Stable identity of the shared per-axis transform resources: equal
+    /// tokens mean the bases/plans are physically shared (used to assert the
+    /// geometry cache prevents basis rebuilds).
+    #[doc(hidden)]
+    pub fn basis_token(&self) -> (usize, usize) {
+        match &self.backend {
+            Backend::Dense { x, y } => (Arc::as_ptr(x) as usize, Arc::as_ptr(y) as usize),
+            Backend::Fft { x, y } => (Arc::as_ptr(x) as usize, Arc::as_ptr(y) as usize),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Parallel sweep helpers
+    // ------------------------------------------------------------------
+
+    /// Rows per pool chunk for a `rows`-row sweep.
+    fn rows_per_chunk(rows: usize) -> usize {
+        rows.div_ceil(rayon::current_num_threads()).max(1)
+    }
+
+    /// Out-of-place transpose `src (rows × cols)` → `dst (cols × rows)`,
+    /// parallel over destination row chunks.
+    fn transpose(src: &[f64], dst: &mut [f64], rows: usize, cols: usize) {
+        let rpc = Self::rows_per_chunk(cols);
+        dst[..rows * cols].par_chunks_mut(rpc * rows).enumerate().for_each(|(ci, chunk)| {
+            let base = ci * rpc;
+            for (local, drow) in chunk.chunks_mut(rows).enumerate() {
+                let c = base + local;
+                for (r, d) in drow.iter_mut().enumerate() {
+                    *d = src[r * cols + c];
+                }
+            }
+        });
+    }
+
+    /// Applies a 1-D FFT transform to every length-`len` row of `src`,
+    /// writing into `dst` (same layout), with per-chunk complex strips from
+    /// `cplx`.
+    fn fft_rows(
+        plan: &DctPlan,
+        src: &[f64],
+        dst: &mut [f64],
+        rows: usize,
+        cplx: &mut Vec<f64>,
+        kind: FftKind,
+    ) {
+        let len = plan.len();
+        let rpc = Self::rows_per_chunk(rows);
+        let chunks = rows.div_ceil(rpc);
+        let strip = plan.scratch_len();
+        ensure_len(cplx, chunks * strip);
+        dst[..rows * len]
+            .par_chunks_mut(rpc * len)
+            .zip(cplx.par_chunks_mut(strip))
+            .enumerate()
+            .for_each(|(ci, (dchunk, work))| {
+                let base = ci * rpc;
+                for (local, drow) in dchunk.chunks_mut(len).enumerate() {
+                    let srow = &src[(base + local) * len..(base + local + 1) * len];
+                    match kind {
+                        FftKind::Dct2 => plan.dct2(srow, drow, work),
+                        FftKind::Idct => plan.idct(srow, drow, work),
+                        FftKind::Idxst => plan.idxst(srow, drow, work),
+                    }
+                }
+            });
+    }
+
+    // ------------------------------------------------------------------
+    // Forward transform
+    // ------------------------------------------------------------------
+
+    /// Forward DCT-II of `grid` (`m × n`, row-major over x) into `out`:
+    /// coefficients `a_uv` such that `grid_ij = Σ a_uv cos·cos` exactly.
+    /// All intermediates live in `scratch`.
+    pub fn dct2_into(&self, grid: &[f64], out: &mut Vec<f64>, scratch: &mut PoissonScratch) {
         let (m, n) = (self.m, self.n);
         assert_eq!(grid.len(), m * n);
+        ensure_len(out, m * n);
+        match &self.backend {
+            Backend::Dense { x, y } => self.dense_dct2(grid, out, scratch, x, y),
+            Backend::Fft { x, y } => {
+                ensure_len(&mut scratch.t1, m * n);
+                ensure_len(&mut scratch.t2, m * n);
+                // Rows along y: S_y[i][v].
+                Self::fft_rows(y, grid, &mut scratch.t1, m, &mut scratch.cplx, FftKind::Dct2);
+                // Transpose to (n × m), transform along x: S_xy[v][u].
+                Self::transpose(&scratch.t1, &mut scratch.t2, m, n);
+                Self::fft_rows(x, &scratch.t2, &mut scratch.t1, n, &mut scratch.cplx, FftKind::Dct2);
+                // Transpose back and apply the c_u c_v normalization.
+                Self::transpose(&scratch.t1, out, n, m);
+                let rpc = Self::rows_per_chunk(m);
+                out.par_chunks_mut(rpc * n).enumerate().for_each(|(ci, chunk)| {
+                    let base = ci * rpc;
+                    for (local, row) in chunk.chunks_mut(n).enumerate() {
+                        let cu = if base + local == 0 { 1.0 } else { 2.0 } / m as f64;
+                        for (v, r) in row.iter_mut().enumerate() {
+                            let cv = if v == 0 { 1.0 } else { 2.0 } / n as f64;
+                            *r *= cu * cv;
+                        }
+                    }
+                });
+            }
+        }
+    }
+
+    /// Allocating convenience wrapper over [`Spectral2D::dct2_into`].
+    pub fn dct2(&self, grid: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.dct2_into(grid, &mut out, &mut PoissonScratch::new());
+        out
+    }
+
+    fn dense_dct2(
+        &self,
+        grid: &[f64],
+        out: &mut [f64],
+        scratch: &mut PoissonScratch,
+        x: &AxisBases,
+        y: &AxisBases,
+    ) {
+        let (m, n) = (self.m, self.n);
+        ensure_len(&mut scratch.t1, m * n);
         // T[u*n + j] = Σ_i cos_x[i][u] grid[i][j]
-        let t: Vec<f64> = (0..m)
-            .into_par_iter()
-            .flat_map_iter(|u| {
-                let mut row = vec![0.0; n];
+        let rpc = Self::rows_per_chunk(m);
+        scratch.t1.par_chunks_mut(rpc * n).enumerate().for_each(|(ci, chunk)| {
+            let base = ci * rpc;
+            for (local, row) in chunk.chunks_mut(n).enumerate() {
+                let u = base + local;
                 for i in 0..m {
-                    let cu = self.cos_x[i * m + u];
+                    let cu = x.cos[i * m + u];
                     if cu != 0.0 {
-                        let base = i * n;
-                        for (j, r) in row.iter_mut().enumerate() {
-                            *r += cu * grid[base + j];
+                        let g = &grid[i * n..(i + 1) * n];
+                        for (r, gv) in row.iter_mut().zip(g) {
+                            *r += cu * gv;
                         }
                     }
                 }
-                row
-            })
-            .collect();
+            }
+        });
         // A[u*n + v] = cu cv Σ_j T[u][j] cos_y[j][v]
-        (0..m)
-            .into_par_iter()
-            .flat_map_iter(|u| {
+        let t1 = &scratch.t1;
+        out.par_chunks_mut(rpc * n).enumerate().for_each(|(ci, chunk)| {
+            let base = ci * rpc;
+            for (local, row) in chunk.chunks_mut(n).enumerate() {
+                let u = base + local;
                 let cu = if u == 0 { 1.0 / m as f64 } else { 2.0 / m as f64 };
-                let mut row = vec![0.0; n];
                 for j in 0..n {
-                    let tv = t[u * n + j];
+                    let tv = t1[u * n + j];
                     if tv != 0.0 {
                         for (v, r) in row.iter_mut().enumerate() {
-                            *r += tv * self.cos_y[j * n + v];
+                            *r += tv * y.cos[j * n + v];
                         }
                     }
                 }
@@ -112,82 +327,182 @@ impl Spectral2D {
                     let cv = if v == 0 { 1.0 / n as f64 } else { 2.0 / n as f64 };
                     *r *= cu * cv;
                 }
-                row
-            })
-            .collect()
+            }
+        });
     }
 
-    /// Evaluates `Σ_uv coef_uv · φx(i,u) · φy(j,v)` on the grid, where the
-    /// bases are selected by `sin_in_x` / `sin_in_y`.
-    fn synth(&self, coef: &[f64], sin_in_x: bool, sin_in_y: bool) -> Vec<f64> {
+    // ------------------------------------------------------------------
+    // Synthesis
+    // ------------------------------------------------------------------
+
+    /// Evaluates `Σ_uv coef_uv · φx(i,u) · φy(j,v)` on the grid into `out`,
+    /// where the bases are selected by `sin_in_x` / `sin_in_y`.
+    fn synth_into(
+        &self,
+        coef: &[f64],
+        sin_in_x: bool,
+        sin_in_y: bool,
+        out: &mut [f64],
+        scratch: &mut PoissonScratch,
+    ) {
         let (m, n) = (self.m, self.n);
-        let bx = if sin_in_x { &self.sin_x } else { &self.cos_x };
-        let by = if sin_in_y { &self.sin_y } else { &self.cos_y };
+        debug_assert_eq!(coef.len(), m * n);
+        debug_assert_eq!(out.len(), m * n);
+        match &self.backend {
+            Backend::Dense { x, y } => {
+                self.dense_synth(coef, sin_in_x, sin_in_y, out, scratch, x, y)
+            }
+            Backend::Fft { x, y } => {
+                ensure_len(&mut scratch.t1, m * n);
+                ensure_len(&mut scratch.t2, m * n);
+                // Synthesize along y: G[u][j].
+                let ykind = if sin_in_y { FftKind::Idxst } else { FftKind::Idct };
+                Self::fft_rows(y, coef, &mut scratch.t1, m, &mut scratch.cplx, ykind);
+                // Transpose to (n × m), synthesize along x, transpose back.
+                Self::transpose(&scratch.t1, &mut scratch.t2, m, n);
+                let xkind = if sin_in_x { FftKind::Idxst } else { FftKind::Idct };
+                Self::fft_rows(x, &scratch.t2, &mut scratch.t1, n, &mut scratch.cplx, xkind);
+                Self::transpose(&scratch.t1, out, n, m);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dense_synth(
+        &self,
+        coef: &[f64],
+        sin_in_x: bool,
+        sin_in_y: bool,
+        out: &mut [f64],
+        scratch: &mut PoissonScratch,
+        x: &AxisBases,
+        y: &AxisBases,
+    ) {
+        let (m, n) = (self.m, self.n);
+        let bx = if sin_in_x { &x.sin } else { &x.cos };
+        let by = if sin_in_y { &y.sin } else { &y.cos };
+        ensure_len(&mut scratch.t1, m * n);
         // T[i*n + v] = Σ_u bx[i][u] coef[u][v]
-        let t: Vec<f64> = (0..m)
-            .into_par_iter()
-            .flat_map_iter(|i| {
-                let mut row = vec![0.0; n];
+        let rpc = Self::rows_per_chunk(m);
+        scratch.t1.par_chunks_mut(rpc * n).enumerate().for_each(|(ci, chunk)| {
+            let base = ci * rpc;
+            for (local, row) in chunk.chunks_mut(n).enumerate() {
+                let i = base + local;
                 for u in 0..m {
                     let b = bx[i * m + u];
                     if b != 0.0 {
-                        let base = u * n;
-                        for (v, r) in row.iter_mut().enumerate() {
-                            *r += b * coef[base + v];
+                        let c = &coef[u * n..(u + 1) * n];
+                        for (r, cv) in row.iter_mut().zip(c) {
+                            *r += b * cv;
                         }
                     }
                 }
-                row
-            })
-            .collect();
-        (0..m)
-            .into_par_iter()
-            .flat_map_iter(|i| {
-                let mut row = vec![0.0; n];
+            }
+        });
+        let t1 = &scratch.t1;
+        out.par_chunks_mut(rpc * n).enumerate().for_each(|(ci, chunk)| {
+            let base = ci * rpc;
+            for (local, row) in chunk.chunks_mut(n).enumerate() {
+                let i = base + local;
+                for r in row.iter_mut() {
+                    *r = 0.0;
+                }
                 for v in 0..n {
-                    let tv = t[i * n + v];
+                    let tv = t1[i * n + v];
                     if tv != 0.0 {
                         for (j, r) in row.iter_mut().enumerate() {
                             *r += tv * by[j * n + v];
                         }
                     }
                 }
-                row
-            })
-            .collect()
+            }
+        });
     }
 
-    /// Inverse of [`Spectral2D::dct2`].
+    /// Inverse of [`Spectral2D::dct2`] (allocating convenience form).
     pub fn idct2(&self, coef: &[f64]) -> Vec<f64> {
-        self.synth(coef, false, false)
+        let mut out = vec![0.0; self.m * self.n];
+        self.synth_into(coef, false, false, &mut out, &mut PoissonScratch::new());
+        out
     }
+
+    /// Inverse of [`Spectral2D::dct2_into`]: evaluates the cosine expansion
+    /// `coef` on the grid into `out` using `scratch` for intermediates.
+    pub fn idct2_into(&self, coef: &[f64], out: &mut Vec<f64>, scratch: &mut PoissonScratch) {
+        ensure_len(out, self.m * self.n);
+        self.synth_into(coef, false, false, out, scratch);
+    }
+
+    // ------------------------------------------------------------------
+    // Poisson solve
+    // ------------------------------------------------------------------
 
     /// Solves the Poisson problem for the (mean-removed) density `rho` and
-    /// returns ψ and its derivatives on the grid.
+    /// returns ψ and its derivatives on the grid. Allocating convenience
+    /// wrapper over [`Spectral2D::solve_into`].
     pub fn solve(&self, rho: &[f64]) -> PoissonSolution {
+        let mut sol = PoissonSolution::default();
+        self.solve_into(rho, &mut PoissonScratch::new(), &mut sol);
+        sol
+    }
+
+    /// Solves the Poisson problem into a reused solution using caller-owned
+    /// scratch: zero heap allocation once the buffers have grown to size.
+    pub fn solve_into(&self, rho: &[f64], scratch: &mut PoissonScratch, sol: &mut PoissonSolution) {
         let (m, n) = (self.m, self.n);
-        let a = self.dct2(rho);
-        // ψ coefficients.
-        let mut b = vec![0.0; m * n];
-        let mut bx = vec![0.0; m * n]; // w_u-scaled for ∂/∂x
-        let mut by = vec![0.0; m * n];
+        assert_eq!(rho.len(), m * n);
+        // Forward transform: a_uv (kept in scratch.a across the 3 synths).
+        let mut a = std::mem::take(&mut scratch.a);
+        self.dct2_into(rho, &mut a, scratch);
+        ensure_len(&mut sol.psi, m * n);
+        ensure_len(&mut sol.dpsi_dx, m * n);
+        ensure_len(&mut sol.dpsi_dy, m * n);
+        let mut c = std::mem::take(&mut scratch.c);
+        ensure_len(&mut c, m * n);
+        // ψ coefficients b = a/k², then the w-scaled variants for the
+        // derivatives (d/dx cos(w x) = −w sin(w x)).
+        for u in 0..m {
+            for v in 0..n {
+                if u == 0 && v == 0 {
+                    c[0] = 0.0;
+                    continue;
+                }
+                let k2 = self.wu[u] * self.wu[u] + self.wv[v] * self.wv[v];
+                c[u * n + v] = a[u * n + v] / k2;
+            }
+        }
+        self.synth_into(&c, false, false, &mut sol.psi, scratch);
         for u in 0..m {
             for v in 0..n {
                 if u == 0 && v == 0 {
                     continue;
                 }
                 let k2 = self.wu[u] * self.wu[u] + self.wv[v] * self.wv[v];
-                let c = a[u * n + v] / k2;
-                b[u * n + v] = c;
-                bx[u * n + v] = -self.wu[u] * c; // d/dx cos(w x) = −w sin(w x)
-                by[u * n + v] = -self.wv[v] * c;
+                c[u * n + v] = -self.wu[u] * a[u * n + v] / k2;
             }
         }
-        let psi = self.synth(&b, false, false);
-        let dpsi_dx = self.synth(&bx, true, false);
-        let dpsi_dy = self.synth(&by, false, true);
-        PoissonSolution { psi, dpsi_dx, dpsi_dy }
+        self.synth_into(&c, true, false, &mut sol.dpsi_dx, scratch);
+        for u in 0..m {
+            for v in 0..n {
+                if u == 0 && v == 0 {
+                    continue;
+                }
+                let k2 = self.wu[u] * self.wu[u] + self.wv[v] * self.wv[v];
+                c[u * n + v] = -self.wv[v] * a[u * n + v] / k2;
+            }
+        }
+        self.synth_into(&c, false, true, &mut sol.dpsi_dy, scratch);
+        scratch.a = a;
+        scratch.c = c;
     }
+}
+
+/// 1-D transform selector for the row sweeps.
+#[derive(Clone, Copy)]
+enum FftKind {
+    Dct2,
+    Idct,
+    Idxst,
 }
 
 #[cfg(test)]
@@ -197,7 +512,20 @@ mod tests {
     #[test]
     fn dct_roundtrip_is_exact() {
         let s = Spectral2D::new(8, 4, 2.0, 1.0);
+        assert!(s.uses_fft());
         let grid: Vec<f64> = (0..32).map(|k| ((k * 37 % 11) as f64) - 5.0).collect();
+        let coef = s.dct2(&grid);
+        let back = s.idct2(&coef);
+        for (a, b) in grid.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn dct_roundtrip_is_exact_dense_fallback() {
+        let s = Spectral2D::new(6, 9, 2.0, 1.0);
+        assert!(!s.uses_fft());
+        let grid: Vec<f64> = (0..54).map(|k| ((k * 37 % 11) as f64) - 5.0).collect();
         let coef = s.dct2(&grid);
         let back = s.idct2(&coef);
         for (a, b) in grid.iter().zip(&back) {
@@ -213,6 +541,54 @@ mod tests {
         for &c in &coef[1..] {
             assert!(c.abs() < 1e-10);
         }
+    }
+
+    #[test]
+    fn fft_and_dense_backends_agree() {
+        let (m, n) = (16, 32);
+        let fft = Spectral2D::with_fft(m, n, 3.0, 2.0, true);
+        let dense = Spectral2D::with_fft(m, n, 3.0, 2.0, false);
+        assert!(fft.uses_fft() && !dense.uses_fft());
+        let grid: Vec<f64> = (0..m * n).map(|k| ((k * 31 % 17) as f64) - 8.0).collect();
+        let (ca, cb) = (fft.dct2(&grid), dense.dct2(&grid));
+        for (a, b) in ca.iter().zip(&cb) {
+            assert!((a - b).abs() < 1e-9, "coef {a} vs {b}");
+        }
+        let (sa, sb) = (fft.solve(&grid), dense.solve(&grid));
+        for (a, b) in sa.psi.iter().zip(&sb.psi) {
+            assert!((a - b).abs() < 1e-9, "psi {a} vs {b}");
+        }
+        for (a, b) in sa.dpsi_dx.iter().zip(&sb.dpsi_dx) {
+            assert!((a - b).abs() < 1e-9, "dx {a} vs {b}");
+        }
+        for (a, b) in sa.dpsi_dy.iter().zip(&sb.dpsi_dy) {
+            assert!((a - b).abs() < 1e-9, "dy {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn solve_into_reuses_buffers_and_matches_solve() {
+        let s = Spectral2D::new(16, 16, 2.0, 2.0);
+        let grid: Vec<f64> = (0..256).map(|k| ((k * 13 % 23) as f64) - 11.0).collect();
+        let fresh = s.solve(&grid);
+        let mut scratch = PoissonScratch::new();
+        let mut sol = PoissonSolution::default();
+        // Two calls through the same scratch: second must match exactly.
+        s.solve_into(&grid, &mut scratch, &mut sol);
+        s.solve_into(&grid, &mut scratch, &mut sol);
+        assert_eq!(fresh.psi, sol.psi);
+        assert_eq!(fresh.dpsi_dx, sol.dpsi_dx);
+        assert_eq!(fresh.dpsi_dy, sol.dpsi_dy);
+    }
+
+    #[test]
+    fn axis_bases_are_shared_across_instances() {
+        let a = Spectral2D::with_fft(12, 12, 1.0, 1.0, false);
+        let b = Spectral2D::with_fft(12, 12, 7.0, 3.0, false);
+        assert_eq!(a.basis_token(), b.basis_token());
+        let c = Spectral2D::new(16, 16, 1.0, 1.0);
+        let d = Spectral2D::new(16, 16, 9.0, 2.0);
+        assert_eq!(c.basis_token(), d.basis_token());
     }
 
     #[test]

@@ -6,6 +6,12 @@
 //! wirelength is `(max−min)` in each axis. Unlike LSE it is exact for 2-pin
 //! nets as γ→0 and has bounded error. Per-net weights implement the
 //! net-weighting objective of Eq. (4).
+//!
+//! [`WirelengthModel::wa_gradient_into`] is the hot-path form: nets are
+//! partitioned into fixed per-thread chunks, each chunk scatters into its own
+//! gradient accumulator held in a caller-owned [`WirelengthScratch`], and the
+//! accumulators are reduced in chunk order — deterministic for a given pool
+//! width and allocation-free in steady state.
 
 use dtp_netlist::{Netlist, Point};
 use rayon::prelude::*;
@@ -29,6 +35,39 @@ pub struct WirelengthModel {
     /// Map from model net index to original netlist net index.
     net_index: Vec<u32>,
     num_cells: usize,
+}
+
+/// Per-thread accumulators for the parallel WA gradient: a full gradient
+/// image per net chunk plus the per-net axis working buffers.
+#[derive(Clone, Debug, Default)]
+struct WlThreadState {
+    gx: Vec<f64>,
+    gy: Vec<f64>,
+    wl: f64,
+    coords: Vec<f64>,
+    ep: Vec<f64>,
+    em: Vec<f64>,
+    grads: Vec<f64>,
+}
+
+/// Reusable intermediates for [`WirelengthModel::wa_gradient_into`]. Buffers
+/// grow on first use; steady-state evaluations allocate nothing.
+#[derive(Clone, Debug, Default)]
+pub struct WirelengthScratch {
+    states: Vec<WlThreadState>,
+}
+
+impl WirelengthScratch {
+    /// Creates an empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> WirelengthScratch {
+        WirelengthScratch::default()
+    }
+}
+
+/// Resizes without preserving contents.
+fn ensure_len(v: &mut Vec<f64>, len: usize) {
+    v.clear();
+    v.resize(len, 0.0);
 }
 
 impl WirelengthModel {
@@ -93,7 +132,8 @@ impl WirelengthModel {
     }
 
     /// Weighted-average smooth wirelength and its gradient with respect to
-    /// cell positions.
+    /// cell positions. Allocating convenience wrapper over
+    /// [`WirelengthModel::wa_gradient_into`] (bit-for-bit identical results).
     ///
     /// `gamma` is the WA smoothing parameter (same length unit as positions);
     /// `weights`, when given, scales each model net's contribution (Eq. 4).
@@ -110,84 +150,150 @@ impl WirelengthModel {
         gamma: f64,
         weights: Option<&[f64]>,
     ) -> (f64, Vec<f64>, Vec<f64>) {
+        let mut gx = Vec::new();
+        let mut gy = Vec::new();
+        let wl = self.wa_gradient_into(
+            xs,
+            ys,
+            gamma,
+            weights,
+            &mut WirelengthScratch::new(),
+            &mut gx,
+            &mut gy,
+        );
+        (wl, gx, gy)
+    }
+
+    /// Weighted-average smooth wirelength with gradients written into reused
+    /// vectors; every intermediate lives in caller-owned `scratch`, so
+    /// steady-state calls perform zero heap allocations.
+    ///
+    /// Returns the (weighted) smooth wirelength.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is provided with the wrong length.
+    #[allow(clippy::too_many_arguments)]
+    pub fn wa_gradient_into(
+        &self,
+        xs: &[f64],
+        ys: &[f64],
+        gamma: f64,
+        weights: Option<&[f64]>,
+        scratch: &mut WirelengthScratch,
+        grad_x: &mut Vec<f64>,
+        grad_y: &mut Vec<f64>,
+    ) -> f64 {
         if let Some(w) = weights {
             assert_eq!(w.len(), self.num_nets(), "one weight per model net");
         }
-        // Per net: (weighted wirelength, per-pin (cell, ∂x, ∂y) contributions).
-        type NetContrib = (f64, Vec<(u32, f64, f64)>);
-        let results: Vec<NetContrib> = (0..self.num_nets())
-            .into_par_iter()
-            .map(|e| {
+        let nets = self.num_nets();
+        let n_cells = self.num_cells;
+        let threads = rayon::current_num_threads();
+        let net_chunk = nets.div_ceil(threads).max(1);
+        let chunks = nets.div_ceil(net_chunk).max(1);
+        scratch.states.resize_with(chunks, WlThreadState::default);
+
+        // Each chunk of nets scatters into its own full-size gradient image.
+        scratch.states.par_chunks_mut(1).enumerate().for_each(|(ci, st)| {
+            let st = &mut st[0];
+            ensure_len(&mut st.gx, n_cells);
+            ensure_len(&mut st.gy, n_cells);
+            st.wl = 0.0;
+            let lo = ci * net_chunk;
+            let hi = (lo + net_chunk).min(nets);
+            for e in lo..hi {
                 let w = weights.map_or(1.0, |w| w[e]);
                 let pins = self.net_pins(e);
-                let mut contrib = Vec::with_capacity(pins.len());
-                let mut total = 0.0;
                 for axis in 0..2 {
-                    let coord = |p: &FlatPin| {
-                        if axis == 0 {
+                    st.coords.clear();
+                    for p in pins {
+                        st.coords.push(if axis == 0 {
                             xs[p.cell as usize] + p.offset.x
                         } else {
                             ys[p.cell as usize] + p.offset.y
-                        }
-                    };
-                    let (wl, grads) = wa_axis(pins.iter().map(coord), gamma);
-                    total += w * wl;
+                        });
+                    }
+                    let wl =
+                        wa_axis_into(&st.coords, gamma, &mut st.ep, &mut st.em, &mut st.grads);
+                    st.wl += w * wl;
+                    let target = if axis == 0 { &mut st.gx } else { &mut st.gy };
                     for (k, p) in pins.iter().enumerate() {
-                        let g = w * grads[k];
-                        if axis == 0 {
-                            contrib.push((p.cell, g, 0.0));
-                        } else {
-                            contrib.push((p.cell, 0.0, g));
-                        }
+                        target[p.cell as usize] += w * st.grads[k];
                     }
                 }
-                (total, contrib)
-            })
-            .collect();
-
-        let mut gx = vec![0.0; self.num_cells];
-        let mut gy = vec![0.0; self.num_cells];
-        let mut wl = 0.0;
-        for (w, contrib) in results {
-            wl += w;
-            for (cell, cgx, cgy) in contrib {
-                gx[cell as usize] += cgx;
-                gy[cell as usize] += cgy;
             }
-        }
-        (wl, gx, gy)
+        });
+
+        // Chunk-ordered reduction over cells.
+        ensure_len(grad_x, n_cells);
+        ensure_len(grad_y, n_cells);
+        let states = &scratch.states;
+        let cell_chunk = n_cells.div_ceil(threads).max(1);
+        grad_x
+            .par_chunks_mut(cell_chunk)
+            .zip(grad_y.par_chunks_mut(cell_chunk))
+            .enumerate()
+            .for_each(|(bi, (gxc, gyc))| {
+                let base = bi * cell_chunk;
+                for (k, g) in gxc.iter_mut().enumerate() {
+                    *g = states.iter().map(|s| s.gx[base + k]).sum();
+                }
+                for (k, g) in gyc.iter_mut().enumerate() {
+                    *g = states.iter().map(|s| s.gy[base + k]).sum();
+                }
+            });
+        states.iter().map(|s| s.wl).sum()
     }
 }
 
-/// WA smooth length along one axis: value and per-pin gradient.
-fn wa_axis(coords: impl Iterator<Item = f64>, gamma: f64) -> (f64, Vec<f64>) {
-    let xs: Vec<f64> = coords.collect();
-    let n = xs.len();
+/// WA smooth length along one axis; per-pin gradients land in `grads`. The
+/// exponential buffers are caller-owned so repeated calls don't allocate.
+fn wa_axis_into(
+    xs: &[f64],
+    gamma: f64,
+    ep: &mut Vec<f64>,
+    em: &mut Vec<f64>,
+    grads: &mut Vec<f64>,
+) -> f64 {
     let xmax = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let xmin = xs.iter().cloned().fold(f64::INFINITY, f64::min);
     // Stabilized exponentials.
-    let ep: Vec<f64> = xs.iter().map(|&x| ((x - xmax) / gamma).exp()).collect();
-    let em: Vec<f64> = xs.iter().map(|&x| (-(x - xmin) / gamma).exp()).collect();
+    ep.clear();
+    em.clear();
+    for &x in xs {
+        ep.push(((x - xmax) / gamma).exp());
+        em.push((-(x - xmin) / gamma).exp());
+    }
     let sp: f64 = ep.iter().sum();
     let sm: f64 = em.iter().sum();
-    let sxp: f64 = xs.iter().zip(&ep).map(|(&x, &e)| x * e).sum();
-    let sxm: f64 = xs.iter().zip(&em).map(|(&x, &e)| x * e).sum();
+    let sxp: f64 = xs.iter().zip(ep.iter()).map(|(&x, &e)| x * e).sum();
+    let sxm: f64 = xs.iter().zip(em.iter()).map(|(&x, &e)| x * e).sum();
     let wa_max = sxp / sp;
     let wa_min = sxm / sm;
-    let mut grads = Vec::with_capacity(n);
-    for k in 0..n {
+    grads.clear();
+    for (k, &x) in xs.iter().enumerate() {
         // d(wa_max)/dx_k = e_k (1 + (x_k − wa_max)/γ) / sp
-        let gp = ep[k] * (1.0 + (xs[k] - wa_max) / gamma) / sp;
-        let gm = em[k] * (1.0 - (xs[k] - wa_min) / gamma) / sm;
+        let gp = ep[k] * (1.0 + (x - wa_max) / gamma) / sp;
+        let gm = em[k] * (1.0 - (x - wa_min) / gamma) / sm;
         grads.push(gp - gm);
     }
-    (wa_max - wa_min, grads)
+    wa_max - wa_min
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use dtp_netlist::generate::{generate, GeneratorConfig};
+
+    fn wa_axis(coords: impl Iterator<Item = f64>, gamma: f64) -> (f64, Vec<f64>) {
+        let xs: Vec<f64> = coords.collect();
+        let mut ep = Vec::new();
+        let mut em = Vec::new();
+        let mut grads = Vec::new();
+        let wl = wa_axis_into(&xs, gamma, &mut ep, &mut em, &mut grads);
+        (wl, grads)
+    }
 
     fn model() -> (dtp_netlist::Design, WirelengthModel) {
         let d = generate(&GeneratorConfig::named("wl", 150)).unwrap();
@@ -255,6 +361,22 @@ mod tests {
             let num = (fp - fm) / (2.0 * h);
             assert!((gy[c] - num).abs() < 1e-5 * (1.0 + num.abs()));
         }
+    }
+
+    #[test]
+    fn wa_gradient_into_is_bitwise_identical() {
+        let (d, m) = model();
+        let (xs, ys) = d.netlist.positions();
+        let (wl, gx, gy) = m.wa_gradient(&xs, &ys, 2.0, None);
+        let mut scratch = WirelengthScratch::new();
+        let mut gx2 = Vec::new();
+        let mut gy2 = Vec::new();
+        // Run twice through the same scratch so buffer reuse is exercised.
+        let _ = m.wa_gradient_into(&xs, &ys, 2.0, None, &mut scratch, &mut gx2, &mut gy2);
+        let wl2 = m.wa_gradient_into(&xs, &ys, 2.0, None, &mut scratch, &mut gx2, &mut gy2);
+        assert_eq!(wl, wl2);
+        assert_eq!(gx, gx2);
+        assert_eq!(gy, gy2);
     }
 
     #[test]

@@ -25,6 +25,64 @@ proptest! {
     }
 
     #[test]
+    fn fft_and_dense_transforms_agree_on_pow2_grids(
+        mp in 1usize..7,
+        np in 1usize..7,
+        seed in 0u64..1000,
+    ) {
+        // m, n = 4..64: the radix-2 backend must reproduce the dense
+        // reference transforms to near machine precision.
+        let m = 1usize << mp.max(2);
+        let n = 1usize << np.max(2);
+        let fft = Spectral2D::with_fft(m, n, 4.0, 6.0, true);
+        let dense = Spectral2D::with_fft(m, n, 4.0, 6.0, false);
+        prop_assert!(fft.uses_fft());
+        prop_assert!(!dense.uses_fft());
+        let grid: Vec<f64> = (0..m * n)
+            .map(|k| (((k as u64 * 2654435761 + seed) % 1000) as f64) / 100.0 - 5.0)
+            .collect();
+        let ca = fft.dct2(&grid);
+        let cb = dense.dct2(&grid);
+        for (a, b) in ca.iter().zip(&cb) {
+            prop_assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()), "dct2: {a} vs {b}");
+        }
+        let ra = fft.idct2(&ca);
+        let rb = dense.idct2(&cb);
+        for (a, b) in ra.iter().zip(&rb) {
+            prop_assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()), "idct2: {a} vs {b}");
+        }
+        let sa = fft.solve(&grid);
+        let sb = dense.solve(&grid);
+        for i in 0..m * n {
+            prop_assert!((sa.psi[i] - sb.psi[i]).abs() < 1e-9 * (1.0 + sb.psi[i].abs()));
+            prop_assert!(
+                (sa.dpsi_dx[i] - sb.dpsi_dx[i]).abs() < 1e-9 * (1.0 + sb.dpsi_dx[i].abs())
+            );
+            prop_assert!(
+                (sa.dpsi_dy[i] - sb.dpsi_dy[i]).abs() < 1e-9 * (1.0 + sb.dpsi_dy[i].abs())
+            );
+        }
+    }
+
+    #[test]
+    fn fft_falls_back_on_non_pow2_grids(
+        m in 2usize..24,
+        n in 2usize..24,
+        seed in 0u64..500,
+    ) {
+        let s = Spectral2D::with_fft(m, n, 3.0, 5.0, true);
+        prop_assert_eq!(s.uses_fft(), m.is_power_of_two() && n.is_power_of_two());
+        // Whatever backend got selected, the transform pair must invert.
+        let grid: Vec<f64> = (0..m * n)
+            .map(|k| (((k as u64 * 1103515245 + seed) % 1000) as f64) / 100.0 - 5.0)
+            .collect();
+        let back = s.idct2(&s.dct2(&grid));
+        for (a, b) in grid.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+    }
+
+    #[test]
     fn poisson_solver_is_linear(
         m in 4usize..20,
         seed in 0u64..1000,

@@ -1,33 +1,45 @@
 //! Offline stand-in for the subset of the [`rayon`](https://docs.rs/rayon)
 //! API this workspace uses: `par_iter` / `par_iter_mut` on slices,
-//! `into_par_iter` on `Vec<T>` and `Range<usize>`, and the adapters
-//! `map`, `filter`, `filter_map`, `flat_map_iter`, `for_each`, `sum`,
-//! `collect`, `collect_into_vec`.
+//! `into_par_iter` on `Vec<T>` and `Range<usize>`, borrowing `par_chunks` /
+//! `par_chunks_mut`, and the adapters `map`, `filter`, `filter_map`,
+//! `flat_map_iter`, `for_each`, `sum`, `collect`, `collect_into_vec`.
 //!
 //! The build environment has no access to crates.io, so this crate provides
-//! real data parallelism with `std::thread::scope`: inputs are materialized
-//! into a `Vec`, split into one contiguous chunk per available core, and each
-//! chunk is processed on its own scoped thread. Chunk results are re-joined
-//! in order, so all order-preserving rayon semantics the callers rely on
-//! (`collect` into an indexed `Vec`, zip-free level sweeps) hold. Work
-//! stealing is not implemented; for the near-uniform per-item costs of the
-//! placement and STA kernels a static partition is within noise of rayon.
+//! real data parallelism on `std` only. All adapters dispatch onto one
+//! lazily-initialized persistent worker [`pool`] (condvar job slot, dynamic
+//! index claiming, panic propagation) instead of spawning OS threads per
+//! call — a parallel region costs a couple of atomics and a condvar signal,
+//! not a `clone(2)` per core. Three adapter families sit on top:
 //!
-//! Unlike lazy rayon adapters, each adapter here runs eagerly. Chained
-//! adapters therefore make one parallel pass per stage — acceptable for a
-//! shim, and the hot paths in this workspace chain at most two stages.
+//! * **Eager `ParIter`** — materializes items, splits them into per-thread
+//!   chunks, re-joins in input order. Source-compatible with the original
+//!   shim; fine for cold paths.
+//! * **Lazy [`ParRange`]** — `(0..n).into_par_iter().map(f)` evaluates `f`
+//!   directly into the destination (`collect` / `collect_into_vec` / `sum`)
+//!   with no intermediate materialization.
+//! * **Borrowing [`chunks`]** — `par_chunks` / `par_chunks_mut` hand pool
+//!   threads disjoint sub-slices with zero per-call allocation; this is what
+//!   the allocation-free placement kernels build on.
+//!
+//! Work stealing is not implemented; indices are claimed dynamically from an
+//! atomic counter, which balances the near-uniform per-item costs of the
+//! placement and STA kernels within noise of rayon.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
+pub mod chunks;
+pub mod pool;
+
+pub use chunks::{ParChunkExt, ParallelSlice, ParallelSliceMut};
+pub use pool::{current_num_threads, Pool};
+
+use std::marker::PhantomData;
 use std::ops::Range;
+use std::sync::Mutex;
 
-/// Minimum items per spawned thread; below `2 * PAR_MIN` total the overhead
-/// of thread spawn dominates and we stay sequential.
+/// Minimum items per thread; below `2 * PAR_MIN` total the dispatch overhead
+/// dominates and we stay sequential.
 const PAR_MIN: usize = 512;
-
-fn available_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
-}
 
 /// Splits `items` into at most `parts` contiguous chunks of near-equal size.
 fn split_chunks<T>(mut items: Vec<T>, parts: usize) -> Vec<Vec<T>> {
@@ -42,8 +54,7 @@ fn split_chunks<T>(mut items: Vec<T>, parts: usize) -> Vec<Vec<T>> {
     chunks
 }
 
-/// Applies `f` to chunks of `items` — on scoped threads when the input is
-/// large enough and more than one core is available — and concatenates the
+/// Applies `f` to chunks of `items` on the pool and concatenates the
 /// per-chunk outputs in input order.
 fn par_chunked<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
 where
@@ -51,22 +62,21 @@ where
     U: Send,
     F: Fn(Vec<T>) -> Vec<U> + Sync,
 {
-    let threads = available_threads().min(items.len() / PAR_MIN);
+    let threads = pool::current_num_threads().min(items.len() / PAR_MIN);
     if threads <= 1 {
         return f(items);
     }
-    let chunks = split_chunks(items, threads);
-    let f = &f;
-    let mut out: Vec<U> = Vec::new();
-    std::thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|c| s.spawn(move || f(c)))
-            .collect();
-        for h in handles {
-            out.extend(h.join().expect("shim-rayon worker panicked"));
-        }
+    let inputs: Vec<Mutex<Option<Vec<T>>>> =
+        split_chunks(items, threads).into_iter().map(|c| Mutex::new(Some(c))).collect();
+    let outputs: Vec<Mutex<Vec<U>>> = (0..inputs.len()).map(|_| Mutex::new(Vec::new())).collect();
+    pool::global().run(inputs.len(), |i| {
+        let chunk = inputs[i].lock().unwrap().take().expect("chunk taken once");
+        *outputs[i].lock().unwrap() = f(chunk);
     });
+    let mut out = Vec::new();
+    for slot in outputs {
+        out.extend(slot.into_inner().unwrap());
+    }
     out
 }
 
@@ -156,16 +166,173 @@ impl<T: Send> ParIter<T> {
     }
 }
 
+/// A lazy parallel iterator over `0..n` (what `Range::<usize>::into_par_iter`
+/// yields): no materialization until a terminal adapter runs.
+pub struct ParRange {
+    start: usize,
+    end: usize,
+}
+
+impl ParRange {
+    fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Lazy element-wise transform; evaluation happens in the terminal call.
+    pub fn map<U, F>(self, f: F) -> ParRangeMap<U, F>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        ParRangeMap { start: self.start, end: self.end, f, _out: PhantomData }
+    }
+
+    /// Parallel side-effecting visit of every index.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let (start, n) = (self.start, self.len());
+        let threads = pool::current_num_threads();
+        if threads <= 1 || n < 2 * PAR_MIN {
+            for i in start..start + n {
+                f(i);
+            }
+            return;
+        }
+        let chunk = n.div_ceil(threads);
+        pool::global().run(chunks::chunk_count(n, chunk), |c| {
+            let lo = start + c * chunk;
+            for i in lo..(lo + chunk).min(start + n) {
+                f(i);
+            }
+        });
+    }
+}
+
+/// A mapped [`ParRange`]: evaluates `f` over the index range directly into
+/// the terminal destination, with no intermediate `Vec`.
+pub struct ParRangeMap<U, F> {
+    start: usize,
+    end: usize,
+    f: F,
+    _out: PhantomData<fn() -> U>,
+}
+
+mod range_fill {
+    //! The one unsafe corner of the lazy range adapter: parallel writes into
+    //! a `Vec`'s spare capacity.
+    #![allow(unsafe_code)]
+
+    use super::*;
+
+    struct SendPtr<U>(*mut U);
+    // SAFETY: each pool index writes a disjoint sub-range of the buffer.
+    unsafe impl<U> Send for SendPtr<U> {}
+    unsafe impl<U> Sync for SendPtr<U> {}
+
+    /// Clears `out` and fills it with `f(start..start+n)` in index order.
+    pub(super) fn fill_into<U, F>(start: usize, n: usize, f: &F, out: &mut Vec<U>)
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        out.clear();
+        let threads = pool::current_num_threads();
+        if threads <= 1 || n < 2 * PAR_MIN {
+            out.extend((start..start + n).map(f));
+            return;
+        }
+        out.reserve(n);
+        let base = SendPtr(out.as_mut_ptr());
+        let base = &base;
+        let chunk = n.div_ceil(threads);
+        pool::global().run(chunks::chunk_count(n, chunk), |c| {
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(n);
+            for i in lo..hi {
+                // SAFETY: `i < n <= capacity`, and chunks are disjoint, so
+                // each slot is written exactly once. On panic the spare
+                // capacity stays unclaimed (len is still 0) — written
+                // elements leak, which is safe.
+                unsafe { base.0.add(i).write(f(start + i)) };
+            }
+        });
+        // SAFETY: all `n` slots were initialized above (the pool completed).
+        unsafe { out.set_len(n) };
+    }
+}
+
+impl<U, F> ParRangeMap<U, F>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Clears `target` and fills it with the mapped values in index order,
+    /// reusing its allocation (rayon's `collect_into_vec`).
+    pub fn collect_into_vec(self, target: &mut Vec<U>) {
+        range_fill::fill_into(self.start, self.len(), &self.f, target);
+    }
+
+    /// Collects the mapped values into any `FromIterator` container.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<U>,
+    {
+        let mut buf = Vec::new();
+        range_fill::fill_into(self.start, self.len(), &self.f, &mut buf);
+        buf.into_iter().collect()
+    }
+
+    /// Parallel sum: per-chunk partials folded in chunk order, so the result
+    /// is deterministic for a fixed pool width.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<U> + std::iter::Sum<S> + Send,
+    {
+        let (start, n, f) = (self.start, self.len(), &self.f);
+        let threads = pool::current_num_threads();
+        if threads <= 1 || n < 2 * PAR_MIN {
+            return (start..start + n).map(f).sum();
+        }
+        let chunk = n.div_ceil(threads);
+        let parts: Vec<Mutex<Option<S>>> =
+            (0..chunks::chunk_count(n, chunk)).map(|_| Mutex::new(None)).collect();
+        pool::global().run(parts.len(), |c| {
+            let lo = start + c * chunk;
+            let hi = (lo + chunk).min(start + n);
+            *parts[c].lock().unwrap() = Some((lo..hi).map(f).sum());
+        });
+        parts.into_iter().map(|p| p.into_inner().unwrap().expect("chunk ran")).sum()
+    }
+
+    /// Parallel side-effecting visit of every mapped value.
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(U) + Sync,
+    {
+        let f = self.f;
+        ParRange { start: self.start, end: self.end }.for_each(|i| g(f(i)));
+    }
+}
+
 /// By-value conversion into a parallel iterator (`rayon::IntoParallelIterator`).
 pub trait IntoParallelIterator {
     /// Element type of the parallel iterator.
     type Item: Send;
-    /// Converts `self` into an eager parallel iterator.
-    fn into_par_iter(self) -> ParIter<Self::Item>;
+    /// The concrete parallel iterator produced.
+    type Iter;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
 }
 
 impl<T: Send> IntoParallelIterator for Vec<T> {
     type Item = T;
+    type Iter = ParIter<T>;
     fn into_par_iter(self) -> ParIter<T> {
         ParIter { items: self }
     }
@@ -173,8 +340,9 @@ impl<T: Send> IntoParallelIterator for Vec<T> {
 
 impl IntoParallelIterator for Range<usize> {
     type Item = usize;
-    fn into_par_iter(self) -> ParIter<usize> {
-        ParIter { items: self.collect() }
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { start: self.start, end: self.end.max(self.start) }
     }
 }
 
@@ -210,8 +378,10 @@ impl<T: Send> IntoParallelRefMutIterator for [T] {
 
 /// Glob-import surface, mirroring `rayon::prelude`.
 pub mod prelude {
+    pub use crate::chunks::{ParChunkExt, ParallelSlice, ParallelSliceMut};
     pub use crate::{
         IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter,
+        ParRange,
     };
 }
 
@@ -220,10 +390,16 @@ mod tests {
     use super::prelude::*;
 
     #[test]
-    fn map_collect_preserves_order() {
+    fn range_map_collect_preserves_order() {
         let v: Vec<usize> = (0..10_000).into_par_iter().map(|i| i * 2).collect();
         assert_eq!(v.len(), 10_000);
         assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+    }
+
+    #[test]
+    fn range_map_sum_matches_serial() {
+        let s: f64 = (0..5000).into_par_iter().map(|i| i as f64).sum();
+        assert_eq!(s, (4999.0 * 5000.0) / 2.0);
     }
 
     #[test]
@@ -242,7 +418,8 @@ mod tests {
 
     #[test]
     fn filter_and_flat_map_iter() {
-        let v: Vec<usize> = (0..1000)
+        let items: Vec<usize> = (0..1000).collect();
+        let v: Vec<usize> = items
             .into_par_iter()
             .filter(|&i| i % 2 == 0)
             .flat_map_iter(|i| [i, i])
@@ -257,5 +434,21 @@ mod tests {
         (0..50usize).into_par_iter().map(|i| i + 1).collect_into_vec(&mut buf);
         assert_eq!(buf.len(), 50);
         assert_eq!(buf[49], 50);
+        // Large enough to take the parallel fill path on multi-core hosts.
+        (0..20_000usize).into_par_iter().map(|i| i * 3).collect_into_vec(&mut buf);
+        assert_eq!(buf.len(), 20_000);
+        assert!(buf.iter().enumerate().all(|(i, &x)| x == i * 3));
+    }
+
+    #[test]
+    fn nested_par_iter_inside_pool_job_completes() {
+        // A parallel region launched from inside another parallel region
+        // must run inline rather than deadlock on the busy pool.
+        let outer: Vec<usize> = (0..8).collect();
+        let totals: Vec<usize> = outer
+            .into_par_iter()
+            .map(|_| (0..4000).into_par_iter().map(|i| i).sum::<usize>())
+            .collect();
+        assert!(totals.iter().all(|&t| t == 3999 * 4000 / 2));
     }
 }
