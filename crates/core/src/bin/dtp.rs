@@ -111,6 +111,7 @@ fn cmd_place(args: &[String]) -> CliResult {
         return Err(
             "usage: dtp place <design> [--mode wl|nw|diff] [--out dir] [--svg file] \
              [--bins N] [--no-density-fft] \
+             [--no-rsmt-tables] [--rsmt-table-max-degree N] \
              [--route] [--route-grid N] [--route-capacity C] [--route-weight W] \
              [--inflation-max F] [--route-period N]"
                 .into(),
@@ -156,6 +157,14 @@ fn cmd_place(args: &[String]) -> CliResult {
             "--no-density-fft" => {
                 config.density_fft = false;
                 i += 1;
+            }
+            "--no-rsmt-tables" => {
+                config.rsmt_tables = false;
+                i += 1;
+            }
+            "--rsmt-table-max-degree" => {
+                config.rsmt_table_max_degree = num(args, i)?;
+                i += 2;
             }
             "--route" => {
                 config.route_aware = true;
@@ -207,6 +216,13 @@ fn cmd_place(args: &[String]) -> CliResult {
         "congestion ({}x{} grid, capacity {}): {}",
         config.route_grid, config.route_grid, config.route_capacity, r.congestion
     );
+    if r.rsmt.trees > 0 {
+        println!(
+            "steiner forest ({}): {}",
+            if config.rsmt_tables { "topology tables" } else { "legacy" },
+            r.rsmt
+        );
+    }
     if let Some(dir) = out_dir {
         design.netlist.set_positions(&r.xs, &r.ys);
         bookshelf::write_design(&design, Path::new(&dir))?;

@@ -169,6 +169,18 @@ pub struct FlowConfig {
     /// bounding-box half-perimeter; until then only node coordinates are
     /// updated.
     pub topo_dirty_frac: f64,
+    /// Build the in-loop Steiner forest from the FLUTE-style topology
+    /// tables: optimal topologies at degree 4, near-optimal (clamped to
+    /// never lose to Prim) at degrees 5–9, plus the per-net sequence cache
+    /// that turns order-preserving moves into coordinate-only re-embeds.
+    /// `false` keeps the legacy exact-≤4 / Prim-≥5 constructions and leaves
+    /// the flow trajectory bit-for-bit identical to a build without the
+    /// tables.
+    pub rsmt_tables: bool,
+    /// Largest net degree served by the topology tables (clamped to 9);
+    /// nets above it use the Prim heuristic. Lowering this trades
+    /// wirelength accuracy for smaller per-class table generation cost.
+    pub rsmt_table_max_degree: usize,
     /// Fall back to a full (non-incremental) analysis when more than this
     /// fraction of nets is dirty in one iteration — past that point the
     /// frontier sweep re-evaluates most of the graph anyway and the
@@ -226,6 +238,8 @@ impl Default for FlowConfig {
             incremental_timing: true,
             dirty_threshold: 0.0,
             topo_dirty_frac: 0.10,
+            rsmt_tables: true,
+            rsmt_table_max_degree: 9,
             incremental_fallback_frac: 0.30,
             route_aware: false,
             route_grid: 32,

@@ -26,7 +26,7 @@ use dtp_place::{
     WirelengthModel, WirelengthScratch,
 };
 use dtp_route::{inflation_factors, CongestionPenalty, CongestionSummary, RudyMap};
-use dtp_rsmt::{build_forest, SteinerForest};
+use dtp_rsmt::{build_forest, build_forest_with, ForestScratch, ForestStats, SteinerForest, TableConfig};
 use dtp_sta::{Analysis, AnalysisScratch, PositionGradients, StaError, Timer, TimerConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -125,6 +125,10 @@ pub struct FlowResult {
     /// on the [`FlowConfig::route_grid`]/[`FlowConfig::route_capacity`]
     /// grid, whether or not the flow was route-aware).
     pub congestion: CongestionSummary,
+    /// In-loop Steiner-forest composition (exact / table / Prim backends)
+    /// and sequence-cache counters; all zeros when the flow never built a
+    /// forest (pure-wirelength mode without tracing).
+    pub rsmt: ForestStats,
 }
 
 impl fmt::Display for FlowResult {
@@ -225,9 +229,11 @@ impl IncrementalState {
         forest: &mut SteinerForest,
         xs: &[f64],
         ys: &[f64],
-        dirty_threshold: f64,
-        topo_frac: f64,
+        config: &FlowConfig,
+        scratch: &mut ForestScratch,
     ) {
+        let dirty_threshold = config.dirty_threshold;
+        let topo_frac = config.topo_dirty_frac;
         self.touched.clear();
         for c in nl.movable_cells() {
             let i = c.index();
@@ -268,8 +274,8 @@ impl IncrementalState {
                 self.geo_nets.push(NetId::new(ni));
             }
         }
-        forest.update_nets(nl, &self.geo_nets);
-        forest.rebuild_nets(nl, &self.topo_nets);
+        forest.update_nets_into(nl, &self.geo_nets, scratch);
+        forest.rebuild_nets_into(nl, &self.topo_nets, scratch);
         for &net in &self.topo_nets {
             let ni = net.index();
             self.net_drift[ni] = 0.0;
@@ -426,6 +432,14 @@ pub fn run_flow(
     let mut route = config.route_aware.then(|| RouteState::new(&work, config));
     let mut opt = NesterovOptimizer::new(&work, bin_w);
     let mut forest: Option<SteinerForest> = None;
+    // Topology-table configuration for the in-loop forest; the post-GP and
+    // final reporting forests always use the legacy constructions so the
+    // reported metrics stay comparable across configurations.
+    let table_cfg = TableConfig {
+        enabled: config.rsmt_tables,
+        max_degree: config.rsmt_table_max_degree,
+    };
+    let mut forest_scratch = ForestScratch::new();
     let mut inc = IncrementalState::new(nl_cells);
     let mut scratch = AnalysisScratch::new();
     let mut grads = PositionGradients::default();
@@ -491,11 +505,11 @@ pub fn run_flow(
                         f,
                         &vx,
                         &vy,
-                        config.dirty_threshold,
-                        config.topo_dirty_frac,
+                        config,
+                        &mut forest_scratch,
                     ),
                     None => {
-                        let f = build_forest(&work.netlist);
+                        let f = build_forest_with(&work.netlist, table_cfg);
                         inc.reset_after_build(&f, &vx, &vy, config.topo_dirty_frac);
                         forest = Some(f);
                         if let Some(p) = prev.take() {
@@ -510,7 +524,7 @@ pub fn run_flow(
                 };
                 match &mut forest {
                     Some(f) if iter % rebuild_period != 0 => f.update_positions(&work.netlist),
-                    _ => forest = Some(build_forest(&work.netlist)),
+                    _ => forest = Some(build_forest_with(&work.netlist, table_cfg)),
                 }
             }
         }
@@ -838,5 +852,6 @@ pub fn run_flow(
         xs: lx,
         ys: ly,
         congestion,
+        rsmt: forest.as_ref().map(SteinerForest::stats).unwrap_or_default(),
     })
 }

@@ -13,7 +13,7 @@
 use dtp_netlist::generate::{generate, GeneratorConfig};
 use dtp_netlist::{Design, Point};
 use dtp_route::{CongestionPenalty, RudyMap};
-use dtp_rsmt::{build_forest, SteinerForest};
+use dtp_rsmt::{build_forest, ForestScratch, SteinerForest};
 use proptest::prelude::*;
 
 proptest! {
@@ -137,6 +137,7 @@ fn incremental_map_agrees_with_rebuild_after_many_rounds() {
     map.build(&design.netlist, &forest);
 
     let movable: Vec<_> = design.netlist.movable_cells().collect();
+    let mut scratch = ForestScratch::new();
     for round in 0..8 {
         let mut dirty = Vec::new();
         for &c in movable.iter().skip(round).step_by(5) {
@@ -153,7 +154,13 @@ fn incremental_map_agrees_with_rebuild_after_many_rounds() {
                 }
             }
         }
-        forest.update_nets(&design.netlist, &dirty);
+        // Alternate the serial and parallel maintenance forms: the RUDY map
+        // must see identical trees from either.
+        if round % 2 == 0 {
+            forest.update_nets(&design.netlist, &dirty);
+        } else {
+            forest.update_nets_into(&design.netlist, &dirty, &mut scratch);
+        }
         map.update_nets(&forest, &dirty);
         map.sync_cells(&design.netlist);
     }

@@ -1,8 +1,155 @@
-//! Batched Steiner-tree construction for a whole netlist.
+//! Batched Steiner-tree construction and maintenance for a whole netlist.
 
-use crate::tree::SteinerTree;
+use crate::mst::PrimScratch;
+use crate::tables::{
+    canonicalize, class_entry, pack_seq, powv_cost, untransform_point, ClassEntry, TableConfig,
+    MAX_TABLE_DEGREE, MIN_TABLE_DEGREE,
+};
+use crate::tree::{AdjScratch, SteinerTree};
 use dtp_netlist::{NetId, Netlist, Point};
 use rayon::prelude::*;
+use std::sync::Arc;
+
+/// Which construction produced a net's current tree.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+enum Backend {
+    /// No tree (clock net / degree 0).
+    #[default]
+    None,
+    /// Exact construction (degree ≤ 3 always; degree 4 when tables are off).
+    Exact,
+    /// Topology-table lookup (degree 4–9 with tables on).
+    Table,
+    /// Prim heuristic (degree above the table cap, or a table-class candidate
+    /// the Prim tree beat).
+    Prim,
+}
+
+/// Per-net position-sequence cache: remembers the packed x/y pin orders, the
+/// canonical topology class and the selected candidate, so a geometry-only
+/// move that preserves the orders skips topology search and reconstruction
+/// entirely (the tree just re-embeds its L-shapes via `update_pins`).
+#[derive(Clone, Debug)]
+struct NetCache {
+    /// Packed raw position sequence (y-ranks in x-order); `u64::MAX` = stale.
+    seq_key: u64,
+    /// Packed x-order / y-order pin permutations. Both must match for a
+    /// cached topology to be reusable: the sequence alone is rank-relative,
+    /// while tree edges bind concrete pin indices.
+    xo_key: u64,
+    yo_key: u64,
+    /// Symmetry transform from the raw frame to the canonical class.
+    transform: u8,
+    /// Construction of the current tree.
+    backend: Backend,
+    /// Index of the selected POWV within `entry` (`u32::MAX` when the Prim
+    /// tree won).
+    powv_idx: u32,
+    /// The canonical class entry (shared, lazily generated).
+    entry: Option<Arc<ClassEntry>>,
+}
+
+impl Default for NetCache {
+    fn default() -> Self {
+        NetCache {
+            seq_key: u64::MAX,
+            xo_key: u64::MAX,
+            yo_key: u64::MAX,
+            transform: 0,
+            backend: Backend::None,
+            powv_idx: u32::MAX,
+            entry: None,
+        }
+    }
+}
+
+impl NetCache {
+    /// Marks the cache unusable for topology reuse (non-table backends).
+    fn invalidate(&mut self, backend: Backend) {
+        self.seq_key = u64::MAX;
+        self.xo_key = u64::MAX;
+        self.yo_key = u64::MAX;
+        self.entry = None;
+        self.backend = backend;
+        self.powv_idx = u32::MAX;
+    }
+}
+
+/// Per-worker scratch buffers for one maintenance lane.
+#[derive(Clone, Debug, Default)]
+struct Lane {
+    pins: Vec<Point>,
+    prim: PrimScratch,
+    adj: AdjScratch,
+    steiner: Vec<(Point, u32, u32)>,
+    edges: Vec<(usize, usize)>,
+}
+
+/// One dirty net in flight: its tree and cache are moved out of the forest
+/// for the duration of the sweep so worker lanes can mutate them without
+/// aliasing the forest's slots.
+#[derive(Clone, Debug)]
+struct Job {
+    net: u32,
+    seq_hit: bool,
+    tree: SteinerTree,
+    cache: NetCache,
+}
+
+/// Reusable buffers for the batched forest-maintenance sweeps
+/// ([`SteinerForest::update_nets_into`] / [`SteinerForest::rebuild_nets_into`]).
+/// Holds the in-flight job list plus one scratch lane per worker thread;
+/// steady-state sweeps allocate nothing.
+#[derive(Clone, Debug, Default)]
+pub struct ForestScratch {
+    jobs: Vec<Job>,
+    lanes: Vec<Lane>,
+}
+
+impl ForestScratch {
+    /// An empty scratch (buffers grow on first use and then persist).
+    pub fn new() -> ForestScratch {
+        ForestScratch::default()
+    }
+}
+
+/// Forest composition and sequence-cache counters, for reporting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ForestStats {
+    /// Nets with a tree (signal nets).
+    pub trees: usize,
+    /// Trees from exact constructions (degree ≤ 3; degree 4 with tables off).
+    pub exact: usize,
+    /// Trees from topology-table lookups.
+    pub table: usize,
+    /// Trees from the Prim heuristic.
+    pub prim: usize,
+    /// Rebuild requests satisfied by the sequence cache (coordinates
+    /// re-embedded, no topology search or reconstruction).
+    pub seq_hits: u64,
+    /// Rebuild requests that reconstructed the tree.
+    pub seq_rebuilds: u64,
+}
+
+impl std::fmt::Display for ForestStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let total = self.seq_hits + self.seq_rebuilds;
+        write!(
+            f,
+            "{} trees (exact {} / table {} / prim {}), seq-cache {}/{} rebuilds skipped",
+            self.trees, self.exact, self.table, self.prim, self.seq_hits, total
+        )
+    }
+}
+
+/// Below this many dirty nets a *rebuild* sweep runs inline: a topology
+/// rebuild is microseconds per net, so pool dispatch pays off quickly.
+const PAR_MIN_REBUILD_NETS: usize = 32;
+
+/// Below this many dirty nets a *geometry* sweep runs inline: re-embedding
+/// coordinates is ~100 ns per net, so the pool only pays off for sweeps
+/// touching a large fraction of the design.
+const PAR_MIN_UPDATE_NETS: usize = 1024;
 
 /// Steiner trees for every non-clock net of a netlist, indexed by net.
 ///
@@ -12,6 +159,13 @@ use rayon::prelude::*;
 #[derive(Clone, Debug)]
 pub struct SteinerForest {
     trees: Vec<Option<SteinerTree>>,
+    cache: Vec<NetCache>,
+    cfg: TableConfig,
+    seq_hits: u64,
+    seq_rebuilds: u64,
+    /// Scratch backing the serial convenience methods, so `update_nets` /
+    /// `rebuild_nets` are allocation-free in steady state too.
+    scratch: ForestScratch,
 }
 
 impl SteinerForest {
@@ -39,69 +193,148 @@ impl SteinerForest {
             .sum()
     }
 
+    /// The topology-table configuration this forest was built with.
+    pub fn table_config(&self) -> TableConfig {
+        self.cfg
+    }
+
+    /// Current composition and sequence-cache counters.
+    pub fn stats(&self) -> ForestStats {
+        let mut s = ForestStats {
+            seq_hits: self.seq_hits,
+            seq_rebuilds: self.seq_rebuilds,
+            ..ForestStats::default()
+        };
+        for c in &self.cache {
+            match c.backend {
+                Backend::None => {}
+                Backend::Exact => s.exact += 1,
+                Backend::Table => s.table += 1,
+                Backend::Prim => s.prim += 1,
+            }
+        }
+        s.trees = s.exact + s.table + s.prim;
+        s
+    }
+
     /// Updates a single net's tree from the netlist's current pin positions
     /// (no topology rebuild). No-op for clock nets. Use after moving one
     /// cell when a full [`SteinerForest::update_positions`] sweep would be
     /// wasteful (e.g. trial moves in timing-driven detailed placement).
     pub fn update_net(&mut self, nl: &Netlist, net: NetId) {
-        if let Some(tree) = self.trees[net.index()].as_mut() {
-            let pins: Vec<Point> = nl
-                .net(net)
-                .pins()
-                .iter()
-                .map(|&p| nl.pin_position(p))
-                .collect();
-            tree.update_pins(&pins);
-        }
+        self.update_nets(nl, std::slice::from_ref(&net));
     }
 
     /// Updates the trees of `nets` from the netlist's current pin positions
-    /// (no topology rebuild), skipping every other net. The per-iteration
-    /// geometry-dirty path of the incremental timing pipeline: when only a
-    /// few cells moved, touching their incident nets beats a full
-    /// [`SteinerForest::update_positions`] sweep.
+    /// (no topology rebuild), skipping every other net. Serial; the parallel
+    /// form is [`SteinerForest::update_nets_into`], which produces
+    /// bit-for-bit identical trees.
     pub fn update_nets(&mut self, nl: &Netlist, nets: &[NetId]) {
-        for &n in nets {
-            self.update_net(nl, n);
-        }
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.sweep(nl, nets, &mut scratch, false, false);
+        self.scratch = scratch;
     }
 
-    /// Rebuilds a single net's tree from scratch (new topology) from the
-    /// netlist's current pin positions. No-op for clock nets (their slot
-    /// stays `None`).
+    /// Rebuilds a single net's tree (new topology) from the netlist's
+    /// current pin positions. No-op for clock nets (their slot stays `None`).
     pub fn rebuild_net(&mut self, nl: &Netlist, net: NetId) {
-        if self.trees[net.index()].is_none() {
+        self.rebuild_nets(nl, std::slice::from_ref(&net));
+    }
+
+    /// Rebuilds the trees of `nets` from the netlist's current pin
+    /// positions. Serial; the parallel form is
+    /// [`SteinerForest::rebuild_nets_into`], which produces bit-for-bit
+    /// identical trees.
+    pub fn rebuild_nets(&mut self, nl: &Netlist, nets: &[NetId]) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.sweep(nl, nets, &mut scratch, true, false);
+        self.scratch = scratch;
+    }
+
+    /// Parallel geometry sweep: updates the trees of `nets` from the
+    /// netlist's current pin positions (no topology rebuild) over the
+    /// persistent worker pool, chunk-ordered so the result is bit-for-bit
+    /// identical to the serial [`SteinerForest::update_nets`]. Steady-state
+    /// allocation-free: all buffers live in `scratch`.
+    pub fn update_nets_into(&mut self, nl: &Netlist, nets: &[NetId], scratch: &mut ForestScratch) {
+        self.sweep(nl, nets, scratch, false, true);
+    }
+
+    /// Parallel topology sweep: rebuilds the trees of `nets` over the
+    /// persistent worker pool — the topology-dirty path of the incremental
+    /// timing pipeline. With tables enabled, a net whose pin x/y orders are
+    /// unchanged and whose cached candidate still wins skips reconstruction
+    /// entirely (sequence-cache hit: coordinates are re-embedded in place).
+    /// Bit-for-bit identical to the serial [`SteinerForest::rebuild_nets`].
+    pub fn rebuild_nets_into(&mut self, nl: &Netlist, nets: &[NetId], scratch: &mut ForestScratch) {
+        self.sweep(nl, nets, scratch, true, true);
+    }
+
+    /// Shared sweep driver: moves each dirty net's tree + cache into the job
+    /// list, processes the jobs (inline, or chunked over the pool), and
+    /// moves the results back. Per-job work is identical either way, so the
+    /// parallel path is deterministic and equal to the serial one.
+    fn sweep(
+        &mut self,
+        nl: &Netlist,
+        nets: &[NetId],
+        scratch: &mut ForestScratch,
+        rebuild: bool,
+        parallel: bool,
+    ) {
+        scratch.jobs.clear();
+        for &net in nets {
+            let i = net.index();
+            if let Some(tree) = self.trees[i].take() {
+                scratch.jobs.push(Job {
+                    net: i as u32,
+                    seq_hit: false,
+                    tree,
+                    cache: std::mem::take(&mut self.cache[i]),
+                });
+            }
+        }
+        if scratch.jobs.is_empty() {
             return;
         }
-        let pins: Vec<Point> = nl
-            .net(net)
-            .pins()
-            .iter()
-            .map(|&p| nl.pin_position(p))
-            .collect();
-        self.trees[net.index()] = Some(SteinerTree::build(&pins));
-    }
-
-    /// Rebuilds the trees of `nets` from scratch in parallel — the
-    /// topology-dirty path of the incremental timing pipeline, replacing the
-    /// blanket periodic full-forest rebuild with per-net rebuilds of only
-    /// the nets whose cells drifted beyond their bounding-box budget.
-    pub fn rebuild_nets(&mut self, nl: &Netlist, nets: &[NetId]) {
-        let built: Vec<(usize, SteinerTree)> = nets
-            .par_iter()
-            .filter_map(|&n| {
-                self.trees[n.index()].as_ref()?;
-                let pins: Vec<Point> = nl
-                    .net(n)
-                    .pins()
-                    .iter()
-                    .map(|&p| nl.pin_position(p))
-                    .collect();
-                Some((n.index(), SteinerTree::build(&pins)))
-            })
-            .collect();
-        for (i, t) in built {
-            self.trees[i] = Some(t);
+        let threads = rayon::current_num_threads();
+        let cfg = self.cfg;
+        let min_par = if rebuild { PAR_MIN_REBUILD_NETS } else { PAR_MIN_UPDATE_NETS };
+        if !parallel || threads <= 1 || scratch.jobs.len() < min_par {
+            if scratch.lanes.is_empty() {
+                scratch.lanes.push(Lane::default());
+            }
+            let lane = &mut scratch.lanes[0];
+            for job in scratch.jobs.iter_mut() {
+                process_job(nl, &cfg, job, lane, rebuild);
+            }
+        } else {
+            let chunk = scratch.jobs.len().div_ceil(threads);
+            let lanes_needed = scratch.jobs.len().div_ceil(chunk);
+            while scratch.lanes.len() < lanes_needed {
+                scratch.lanes.push(Lane::default());
+            }
+            scratch
+                .jobs
+                .par_chunks_mut(chunk)
+                .zip(scratch.lanes[..lanes_needed].par_chunks_mut(1))
+                .for_each(|(jobs, lane)| {
+                    let lane = &mut lane[0];
+                    for job in jobs {
+                        process_job(nl, &cfg, job, lane, rebuild);
+                    }
+                });
+        }
+        for job in scratch.jobs.drain(..) {
+            if rebuild {
+                if job.seq_hit {
+                    self.seq_hits += 1;
+                } else {
+                    self.seq_rebuilds += 1;
+                }
+            }
+            self.trees[job.net as usize] = Some(job.tree);
+            self.cache[job.net as usize] = job.cache;
         }
     }
 
@@ -134,22 +367,260 @@ impl SteinerForest {
     }
 }
 
+/// Runs one net's maintenance step on a worker lane: gather pins, then
+/// either re-embed coordinates (geometry sweep) or rebuild the topology.
+fn process_job(nl: &Netlist, cfg: &TableConfig, job: &mut Job, lane: &mut Lane, rebuild: bool) {
+    let net = NetId::new(job.net as usize);
+    lane.pins.clear();
+    lane.pins
+        .extend(nl.net(net).pins().iter().map(|&p| nl.pin_position(p)));
+    if rebuild {
+        job.seq_hit = rebuild_tree(cfg, &mut job.cache, lane, &mut job.tree);
+    } else {
+        job.tree.update_pins(&lane.pins);
+    }
+}
+
+/// Rebuilds one tree from `lane.pins` under `cfg`, maintaining the net's
+/// sequence cache. Returns `true` when the sequence cache made the rebuild a
+/// coordinate-only re-embedding.
+fn rebuild_tree(
+    cfg: &TableConfig,
+    cache: &mut NetCache,
+    lane: &mut Lane,
+    tree: &mut SteinerTree,
+) -> bool {
+    let n = lane.pins.len();
+    if !cfg.enabled {
+        // Legacy path, bit-for-bit the pre-table behaviour: a fresh
+        // allocating build (exact Hanan at degree ≤ 4, Prim above).
+        *tree = SteinerTree::build(&lane.pins);
+        cache.invalidate(if n <= 4 { Backend::Exact } else { Backend::Prim });
+        return false;
+    }
+    if n < MIN_TABLE_DEGREE {
+        match n {
+            1 => tree.rebuild_from_parts(&lane.pins, &[], &[], &mut lane.adj),
+            2 => tree.rebuild_from_parts(&lane.pins, &[], &[(0, 1)], &mut lane.adj),
+            _ => {
+                crate::hanan::median3_parts(&lane.pins, &mut lane.steiner, &mut lane.edges);
+                tree.rebuild_from_parts(&lane.pins, &lane.steiner, &lane.edges, &mut lane.adj);
+            }
+        }
+        cache.invalidate(Backend::Exact);
+        return false;
+    }
+    if n > cfg.degree_cap() {
+        crate::mst::prim_steiner_into(&lane.pins, &mut lane.prim, &mut lane.adj, tree);
+        cache.invalidate(Backend::Prim);
+        return false;
+    }
+
+    // --- table path ---------------------------------------------------------
+    // Pin orders along each axis (ties broken by the other coordinate, then
+    // index, so the orders — and everything derived from them — are total).
+    let pins = &lane.pins;
+    let mut xo = [0u8; MAX_TABLE_DEGREE];
+    let mut yo = [0u8; MAX_TABLE_DEGREE];
+    for i in 0..n {
+        xo[i] = i as u8;
+        yo[i] = i as u8;
+    }
+    xo[..n].sort_unstable_by(|&a, &b| {
+        let (pa, pb) = (pins[a as usize], pins[b as usize]);
+        pa.x.partial_cmp(&pb.x)
+            .expect("non-NaN coordinates")
+            .then(pa.y.partial_cmp(&pb.y).expect("non-NaN coordinates"))
+            .then(a.cmp(&b))
+    });
+    yo[..n].sort_unstable_by(|&a, &b| {
+        let (pa, pb) = (pins[a as usize], pins[b as usize]);
+        pa.y.partial_cmp(&pb.y)
+            .expect("non-NaN coordinates")
+            .then(pa.x.partial_cmp(&pb.x).expect("non-NaN coordinates"))
+            .then(a.cmp(&b))
+    });
+    let mut yrank = [0u8; MAX_TABLE_DEGREE];
+    for (r, &p) in yo[..n].iter().enumerate() {
+        yrank[p as usize] = r as u8;
+    }
+    let mut seq = [0u8; MAX_TABLE_DEGREE];
+    for (a, &p) in xo[..n].iter().enumerate() {
+        seq[a] = yrank[p as usize];
+    }
+    let seq_key = pack_seq(&seq[..n]);
+    let xo_key = pack_seq(&xo[..n]);
+    let yo_key = pack_seq(&yo[..n]);
+
+    // Canonical class lookup, skipped when the raw sequence is unchanged.
+    if seq_key != cache.seq_key || cache.entry.is_none() {
+        let (canon_key, t) = canonicalize(&seq[..n]);
+        cache.entry = Some(class_entry(n, canon_key));
+        cache.transform = t;
+        cache.seq_key = seq_key;
+    }
+    let t = cache.transform;
+    let entry = Arc::clone(cache.entry.as_ref().expect("entry just ensured"));
+    debug_assert_eq!(entry.n, n, "class entry degree matches the net");
+
+    // Raw coordinate gaps along each axis, then mapped into the canonical
+    // frame (a flipped axis reverses gap order; a swap exchanges the axes).
+    let mut rgx = [0.0f64; MAX_TABLE_DEGREE - 1];
+    let mut rgy = [0.0f64; MAX_TABLE_DEGREE - 1];
+    for g in 0..n - 1 {
+        rgx[g] = pins[xo[g + 1] as usize].x - pins[xo[g] as usize].x;
+        rgy[g] = pins[yo[g + 1] as usize].y - pins[yo[g] as usize].y;
+    }
+    let (swap, fx, fy) = (t & 4 != 0, t & 1 != 0, t & 2 != 0);
+    let mut gx = [0.0f64; MAX_TABLE_DEGREE - 1];
+    let mut gy = [0.0f64; MAX_TABLE_DEGREE - 1];
+    for g in 0..n - 1 {
+        gx[g] = if swap {
+            rgy[if fy { n - 2 - g } else { g }]
+        } else {
+            rgx[if fx { n - 2 - g } else { g }]
+        };
+        gy[g] = if swap {
+            rgx[if fx { n - 2 - g } else { g }]
+        } else {
+            rgy[if fy { n - 2 - g } else { g }]
+        };
+    }
+
+    // Candidate selection: cheapest POWV by gap dot product; degree ≥ 5
+    // additionally clamps against the Prim MST length so the emitted tree is
+    // never worse than the fallback heuristic (degree 4 tables are exact).
+    let mut best_i = 0usize;
+    let mut best_c = f64::INFINITY;
+    for (i, p) in entry.powvs.iter().enumerate() {
+        let c = powv_cost(p, &gx, &gy, n);
+        if c < best_c {
+            best_c = c;
+            best_i = i;
+        }
+    }
+    let use_prim = n >= 5 && crate::mst::prim_length(pins, &mut lane.prim) < best_c;
+    if use_prim {
+        crate::mst::prim_steiner_into(&lane.pins, &mut lane.prim, &mut lane.adj, tree);
+        cache.backend = Backend::Prim;
+        cache.powv_idx = u32::MAX;
+        cache.xo_key = xo_key;
+        cache.yo_key = yo_key;
+        return false;
+    }
+
+    // Sequence-cache hit: same pin orders and the same winning candidate —
+    // the cached topology is still the chosen one, only coordinates moved.
+    // (The Prim backend never short-circuits here: its topology depends on
+    // real distances, which can change without the orders changing.)
+    if cache.backend == Backend::Table
+        && cache.powv_idx == best_i as u32
+        && cache.xo_key == xo_key
+        && cache.yo_key == yo_key
+    {
+        tree.update_pins(&lane.pins);
+        return true;
+    }
+
+    // Embed the winning canonical topology in the raw frame: each canonical
+    // grid point maps back through the symmetry transform, x coordinates
+    // ride the pin at the raw x-rank and y coordinates the pin at the raw
+    // y-rank (the Fig.-4 branch bookkeeping falls out naturally).
+    let powv = &entry.powvs[best_i];
+    lane.steiner.clear();
+    lane.edges.clear();
+    for &(a, b) in &powv.steiner {
+        let (ra, rb) = untransform_point(a as usize, b as usize, n, t);
+        let px = xo[ra] as u32;
+        let py = yo[rb] as u32;
+        lane.steiner
+            .push((Point::new(pins[px as usize].x, pins[py as usize].y), px, py));
+    }
+    let map_node = |w: u8| -> usize {
+        let w = w as usize;
+        if w < n {
+            let (ra, rb) = untransform_point(w, entry.seq[w] as usize, n, t);
+            debug_assert_eq!(seq[ra], rb as u8, "canonical pin maps back onto the sequence");
+            xo[ra] as usize
+        } else {
+            n + (w - n)
+        }
+    };
+    for &(u, v) in &powv.edges {
+        lane.edges.push((map_node(u), map_node(v)));
+    }
+    tree.rebuild_from_parts(&lane.pins, &lane.steiner, &lane.edges, &mut lane.adj);
+    cache.backend = Backend::Table;
+    cache.powv_idx = best_i as u32;
+    cache.xo_key = xo_key;
+    cache.yo_key = yo_key;
+    false
+}
+
+/// Builds a single Steiner tree under the given topology-table
+/// configuration (the construction behind [`build_forest_with`], without a
+/// netlist). With [`TableConfig::disabled`] this equals
+/// [`SteinerTree::build`]. Intended for tests, benches, and one-off nets;
+/// forest maintenance paths reuse scratch buffers instead.
+pub fn build_tree_with(pins: &[Point], cfg: TableConfig) -> SteinerTree {
+    let mut lane = Lane::default();
+    lane.pins.extend_from_slice(pins);
+    let mut cache = NetCache::default();
+    let mut tree = SteinerTree::empty();
+    rebuild_tree(&cfg, &mut cache, &mut lane, &mut tree);
+    tree
+}
+
 /// Builds Steiner trees for all non-clock nets in parallel (rayon), the
-/// analogue of the paper's multi-threaded FLUTE invocation.
+/// analogue of the paper's multi-threaded FLUTE invocation. Uses the legacy
+/// constructions ([`TableConfig::disabled`]); see [`build_forest_with`] for
+/// the topology-table backend.
 pub fn build_forest(nl: &Netlist) -> SteinerForest {
+    build_forest_with(nl, TableConfig::disabled())
+}
+
+/// Builds Steiner trees for all non-clock nets in parallel under the given
+/// topology-table configuration.
+pub fn build_forest_with(nl: &Netlist, cfg: TableConfig) -> SteinerForest {
     let nets: Vec<NetId> = nl.net_ids().collect();
-    let trees: Vec<Option<SteinerTree>> = nets
+    let built: Vec<Option<(SteinerTree, NetCache)>> = nets
         .par_iter()
         .map(|&n| {
             let net = nl.net(n);
             if net.is_clock() || net.degree() == 0 {
                 return None;
             }
-            let pins: Vec<Point> = net.pins().iter().map(|&p| nl.pin_position(p)).collect();
-            Some(SteinerTree::build(&pins))
+            let mut lane = Lane::default();
+            lane.pins
+                .extend(net.pins().iter().map(|&p| nl.pin_position(p)));
+            let mut cache = NetCache::default();
+            let mut tree = SteinerTree::empty();
+            rebuild_tree(&cfg, &mut cache, &mut lane, &mut tree);
+            Some((tree, cache))
         })
         .collect();
-    SteinerForest { trees }
+    let mut trees = Vec::with_capacity(built.len());
+    let mut cache = Vec::with_capacity(built.len());
+    for b in built {
+        match b {
+            Some((t, c)) => {
+                trees.push(Some(t));
+                cache.push(c);
+            }
+            None => {
+                trees.push(None);
+                cache.push(NetCache::default());
+            }
+        }
+    }
+    SteinerForest {
+        trees,
+        cache,
+        cfg,
+        seq_hits: 0,
+        seq_rebuilds: 0,
+        scratch: ForestScratch::default(),
+    }
 }
 
 #[cfg(test)]
@@ -203,5 +674,54 @@ mod tests {
         // trees (paper's accuracy-for-speed trade).
         assert!(wl1 >= rebuilt.total_wirelength() - 1e-6);
         assert!(wl0 > 0.0);
+    }
+
+    #[test]
+    fn table_forest_never_longer_than_legacy() {
+        // Degree ≤ 3 trees are identical, degree-4 tables are exact (legacy
+        // is exact too), and degree 5–9 tables clamp against Prim — so on
+        // the same placement the tables-on forest can never be longer.
+        let d = generate(&GeneratorConfig::named("tf", 300)).unwrap();
+        let legacy = build_forest(&d.netlist);
+        let tables = build_forest_with(&d.netlist, TableConfig::default());
+        for n in d.netlist.net_ids() {
+            let (Some(a), Some(b)) = (tables.tree(n), legacy.tree(n)) else { continue };
+            assert!(
+                a.wirelength() <= b.wirelength() + 1e-6,
+                "net {}: table {} > legacy {}",
+                n.index(),
+                a.wirelength(),
+                b.wirelength()
+            );
+        }
+        let s = tables.stats();
+        assert_eq!(s.trees, s.exact + s.table + s.prim);
+        assert!(s.table > 0, "no table-backed trees in a 300-cell design");
+    }
+
+    #[test]
+    fn rebuild_sequence_cache_hits_on_pure_translation() {
+        // Translating all pins preserves both pin orders, so a rebuild of a
+        // table-backed net must be served by the sequence cache.
+        let mut d = generate(&GeneratorConfig::named("sc", 200)).unwrap();
+        let mut forest = build_forest_with(&d.netlist, TableConfig::default());
+        let nets: Vec<NetId> = d
+            .netlist
+            .net_ids()
+            .filter(|&n| forest.tree(n).is_some())
+            .collect();
+        let (mut xs, mut ys) = d.netlist.positions();
+        for i in 0..xs.len() {
+            xs[i] += 1.5;
+            ys[i] -= 0.5;
+        }
+        d.netlist.set_positions(&xs, &ys);
+        forest.rebuild_nets(&d.netlist, &nets);
+        let s = forest.stats();
+        assert_eq!(s.seq_hits + s.seq_rebuilds, nets.len() as u64);
+        assert!(s.seq_hits > 0, "translation produced no sequence-cache hits");
+        // Prim-backed and low-degree trees always reconstruct; every
+        // table-backed tree must have hit.
+        assert!(s.seq_hits >= s.table as u64, "hits {} < table trees {}", s.seq_hits, s.table);
     }
 }

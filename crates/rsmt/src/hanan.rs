@@ -30,6 +30,22 @@ fn median_index(vals: [f64; 3]) -> usize {
 }
 
 fn build_median3(pins: &[Point]) -> SteinerTree {
+    let mut steiner = Vec::new();
+    let mut edges = Vec::new();
+    median3_parts(pins, &mut steiner, &mut edges);
+    SteinerTree::from_parts(pins, steiner, edges)
+}
+
+/// Writes the exact degree-3 construction (median point) into caller-owned
+/// part buffers — the allocation-free form shared with the in-place forest
+/// rebuild path.
+pub(crate) fn median3_parts(
+    pins: &[Point],
+    steiner: &mut Vec<(Point, u32, u32)>,
+    edges: &mut Vec<(usize, usize)>,
+) {
+    steiner.clear();
+    edges.clear();
     let xs = [pins[0].x, pins[1].x, pins[2].x];
     let ys = [pins[0].y, pins[1].y, pins[2].y];
     let mi = median_index(xs);
@@ -38,14 +54,15 @@ fn build_median3(pins: &[Point]) -> SteinerTree {
     // If the median point coincides with a pin, connect through that pin
     // directly (no Steiner point needed).
     if let Some(k) = pins.iter().position(|&p| p == m) {
-        let others: Vec<usize> = (0..3).filter(|&i| i != k).collect();
-        return SteinerTree::from_parts(pins, vec![], vec![(k, others[0]), (k, others[1])]);
+        for i in 0..3 {
+            if i != k {
+                edges.push((k, i));
+            }
+        }
+        return;
     }
-    SteinerTree::from_parts(
-        pins,
-        vec![(m, mi as u32, mj as u32)],
-        vec![(0, 3), (1, 3), (2, 3)],
-    )
+    steiner.push((m, mi as u32, mj as u32));
+    edges.extend([(0, 3), (1, 3), (2, 3)]);
 }
 
 /// Minimum-spanning-tree length and edges over a small point set

@@ -8,14 +8,26 @@
 //!
 //! - exact RSMT for nets of degree ≤ 4 (median construction / Hanan-grid
 //!   enumeration),
-//! - a rectilinear Prim heuristic with corner steinerization for larger nets,
+//! - FLUTE-style **topology tables** for degrees 4–9: optimal (degree 4) or
+//!   near-optimal (5–9) Steiner topologies precomputed per *position
+//!   sequence* class (the permutation of y-ranks in x-sorted order,
+//!   de-duplicated under the 8 grid symmetries), embedded per net in O(n)
+//!   by a gap-vector dot product — see [`TableConfig`] and [`prewarm`],
+//! - a rectilinear Prim heuristic with corner steinerization for larger nets
+//!   (and as a quality clamp the table candidates must beat at degree 5–9),
+//! - a per-net **sequence cache**: a rebuild whose pin x/y orders are
+//!   unchanged re-embeds the cached topology instead of searching again,
 //! - **branch tracking**: every Steiner point records which pin owns its x
 //!   and which owns its y coordinate, so (a) [`SteinerTree::update_pins`]
 //!   moves Steiner points along with their branches instead of rebuilding
 //!   (Fig. 4 / §3.6 tree reuse), and (b) gradients landing on Steiner points
 //!   are routed back to real pins by [`SteinerTree::scatter_gradient`].
-//! - [`build_forest`]: rayon-parallel tree construction for all nets of a
-//!   netlist (the paper's multi-threaded FLUTE calls).
+//! - [`build_forest`] / [`build_forest_with`]: rayon-parallel tree
+//!   construction for all nets of a netlist (the paper's multi-threaded
+//!   FLUTE calls), plus allocation-free parallel maintenance sweeps
+//!   ([`SteinerForest::update_nets_into`],
+//!   [`SteinerForest::rebuild_nets_into`]) backed by a caller-owned
+//!   [`ForestScratch`].
 //!
 //! # Example
 //!
@@ -35,7 +47,11 @@
 mod forest;
 mod hanan;
 mod mst;
+mod tables;
 mod tree;
 
-pub use forest::{build_forest, SteinerForest};
+pub use forest::{
+    build_forest, build_forest_with, build_tree_with, ForestScratch, ForestStats, SteinerForest,
+};
+pub use tables::{prewarm, TableConfig, MAX_TABLE_DEGREE};
 pub use tree::SteinerTree;

@@ -8,38 +8,102 @@
 //! that coincide are merged, which recovers part of the Steiner sharing a
 //! real RSMT would exploit.
 
-use crate::tree::SteinerTree;
+use crate::tree::{AdjScratch, SteinerTree};
 use dtp_netlist::Point;
 
-pub(crate) fn build_prim_steiner(pins: &[Point]) -> SteinerTree {
-    let n = pins.len();
-    debug_assert!(n >= 5);
+/// Reusable buffers for the Prim construction (and its MST-length scan).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct PrimScratch {
+    in_tree: Vec<bool>,
+    best: Vec<(f64, usize)>,
+    mst_edges: Vec<(usize, usize)>,
+    steiner: Vec<(Point, u32, u32)>,
+    edges: Vec<(usize, usize)>,
+}
 
-    // Prim MST over the pins, O(n²).
-    let mut in_tree = vec![false; n];
-    let mut best = vec![(f64::INFINITY, 0usize); n];
-    in_tree[0] = true;
+pub(crate) fn build_prim_steiner(pins: &[Point]) -> SteinerTree {
+    let mut tree = SteinerTree::empty();
+    prim_steiner_into(pins, &mut PrimScratch::default(), &mut AdjScratch::default(), &mut tree);
+    tree
+}
+
+/// Total rectilinear MST length over `pins` (Prim, O(n²), no construction).
+/// Equals the wirelength of the tree [`build_prim_steiner`] emits: corner
+/// steinerization embeds every MST edge as an L-path of the same length and
+/// merging coincident corners never changes the total.
+pub(crate) fn prim_length(pins: &[Point], scratch: &mut PrimScratch) -> f64 {
+    let n = pins.len();
+    scratch.in_tree.clear();
+    scratch.in_tree.resize(n, false);
+    scratch.best.clear();
+    scratch.best.resize(n, (f64::INFINITY, 0));
+    scratch.in_tree[0] = true;
     for j in 1..n {
-        best[j] = (pins[0].manhattan(pins[j]), 0);
+        scratch.best[j] = (pins[0].manhattan(pins[j]), 0);
     }
-    let mut mst_edges: Vec<(usize, usize)> = Vec::with_capacity(n - 1);
+    let mut total = 0.0;
     for _ in 1..n {
         let mut u = usize::MAX;
         let mut ud = f64::INFINITY;
         for j in 0..n {
-            if !in_tree[j] && best[j].0 < ud {
-                ud = best[j].0;
+            if !scratch.in_tree[j] && scratch.best[j].0 < ud {
+                ud = scratch.best[j].0;
+                u = j;
+            }
+        }
+        scratch.in_tree[u] = true;
+        total += ud;
+        for j in 0..n {
+            if !scratch.in_tree[j] {
+                let dj = pins[u].manhattan(pins[j]);
+                if dj < scratch.best[j].0 {
+                    scratch.best[j] = (dj, u);
+                }
+            }
+        }
+    }
+    total
+}
+
+/// Scratch-based Prim construction writing the tree in place; the single
+/// implementation behind [`build_prim_steiner`], so both entry points produce
+/// identical trees.
+pub(crate) fn prim_steiner_into(
+    pins: &[Point],
+    scratch: &mut PrimScratch,
+    adj: &mut AdjScratch,
+    tree: &mut SteinerTree,
+) {
+    let n = pins.len();
+    debug_assert!(n >= 5);
+
+    // Prim MST over the pins, O(n²).
+    scratch.in_tree.clear();
+    scratch.in_tree.resize(n, false);
+    scratch.best.clear();
+    scratch.best.resize(n, (f64::INFINITY, 0));
+    scratch.in_tree[0] = true;
+    for j in 1..n {
+        scratch.best[j] = (pins[0].manhattan(pins[j]), 0);
+    }
+    scratch.mst_edges.clear();
+    for _ in 1..n {
+        let mut u = usize::MAX;
+        let mut ud = f64::INFINITY;
+        for j in 0..n {
+            if !scratch.in_tree[j] && scratch.best[j].0 < ud {
+                ud = scratch.best[j].0;
                 u = j;
             }
         }
         debug_assert!(u != usize::MAX);
-        in_tree[u] = true;
-        mst_edges.push((best[u].1, u));
+        scratch.in_tree[u] = true;
+        scratch.mst_edges.push((scratch.best[u].1, u));
         for j in 0..n {
-            if !in_tree[j] {
+            if !scratch.in_tree[j] {
                 let dj = pins[u].manhattan(pins[j]);
-                if dj < best[j].0 {
-                    best[j] = (dj, u);
+                if dj < scratch.best[j].0 {
+                    scratch.best[j] = (dj, u);
                 }
             }
         }
@@ -48,28 +112,29 @@ pub(crate) fn build_prim_steiner(pins: &[Point]) -> SteinerTree {
     // Steinerize each skewed edge (a → b) with the corner (x_b, y_a). The
     // corner's x rides with pin b, its y with pin a — the branch tracking of
     // Fig. 4. Coincident corners are merged to share trunks.
-    let mut steiner: Vec<(Point, u32, u32)> = Vec::new();
-    let mut edges: Vec<(usize, usize)> = Vec::new();
-    for (a, b) in mst_edges {
+    scratch.steiner.clear();
+    scratch.edges.clear();
+    for i in 0..scratch.mst_edges.len() {
+        let (a, b) = scratch.mst_edges[i];
         let pa = pins[a];
         let pb = pins[b];
         if pa.x == pb.x || pa.y == pb.y {
-            edges.push((a, b));
+            scratch.edges.push((a, b));
             continue;
         }
         let corner = Point::new(pb.x, pa.y);
-        let ci = match steiner.iter().position(|(p, _, _)| *p == corner) {
+        let ci = match scratch.steiner.iter().position(|(p, _, _)| *p == corner) {
             Some(i) => n + i,
             None => {
-                steiner.push((corner, b as u32, a as u32));
-                n + steiner.len() - 1
+                scratch.steiner.push((corner, b as u32, a as u32));
+                n + scratch.steiner.len() - 1
             }
         };
-        edges.push((a, ci));
-        edges.push((ci, b));
+        scratch.edges.push((a, ci));
+        scratch.edges.push((ci, b));
     }
 
-    SteinerTree::from_parts(pins, steiner, edges)
+    tree.rebuild_from_parts(pins, &scratch.steiner, &scratch.edges, adj);
 }
 
 #[cfg(test)]

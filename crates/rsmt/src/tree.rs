@@ -41,6 +41,18 @@ impl SteinerTree {
         }
     }
 
+    /// An empty shell to be filled by [`SteinerTree::rebuild_from_parts`].
+    pub(crate) fn empty() -> SteinerTree {
+        SteinerTree {
+            nodes: Vec::new(),
+            n_pins: 0,
+            parent: Vec::new(),
+            order: Vec::new(),
+            x_src: Vec::new(),
+            y_src: Vec::new(),
+        }
+    }
+
     /// Assembles a tree from pins, Steiner points (with their coordinate
     /// sources) and undirected edges, then roots it at node 0.
     ///
@@ -52,43 +64,82 @@ impl SteinerTree {
         steiner: Vec<(Point, u32, u32)>,
         edges: Vec<(usize, usize)>,
     ) -> SteinerTree {
+        let mut tree = SteinerTree::empty();
+        tree.rebuild_from_parts(pins, &steiner, &edges, &mut AdjScratch::default());
+        tree
+    }
+
+    /// In-place counterpart of [`SteinerTree::from_parts`]: refills every
+    /// buffer of `self` (reusing its capacity) and re-roots at node 0 via
+    /// `adj`'s CSR scratch. The CSR fill preserves the per-node neighbor
+    /// insertion order of the edge scan, so parents and pre-order come out
+    /// identical to the allocating path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edges do not form a spanning tree over all nodes.
+    pub(crate) fn rebuild_from_parts(
+        &mut self,
+        pins: &[Point],
+        steiner: &[(Point, u32, u32)],
+        edges: &[(usize, usize)],
+        adj: &mut AdjScratch,
+    ) {
         let n_pins = pins.len();
         let n = n_pins + steiner.len();
-        let mut nodes = Vec::with_capacity(n);
-        let mut x_src = Vec::with_capacity(n);
-        let mut y_src = Vec::with_capacity(n);
+        self.n_pins = n_pins;
+        self.nodes.clear();
+        self.x_src.clear();
+        self.y_src.clear();
         for (i, &p) in pins.iter().enumerate() {
-            nodes.push(p);
-            x_src.push(i as u32);
-            y_src.push(i as u32);
+            self.nodes.push(p);
+            self.x_src.push(i as u32);
+            self.y_src.push(i as u32);
         }
-        for (p, xs, ys) in steiner {
+        for &(p, xs, ys) in steiner {
             debug_assert!((xs as usize) < n_pins && (ys as usize) < n_pins);
-            nodes.push(p);
-            x_src.push(xs);
-            y_src.push(ys);
+            self.nodes.push(p);
+            self.x_src.push(xs);
+            self.y_src.push(ys);
         }
-        // Adjacency for rooting.
-        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
-        for &(a, b) in &edges {
-            adj[a].push(b as u32);
-            adj[b].push(a as u32);
+        // CSR adjacency: counting pass, prefix sums, then a fill pass in edge
+        // order (per-node neighbor order == push order of a Vec<Vec> build).
+        adj.head.clear();
+        adj.head.resize(n + 1, 0);
+        for &(a, b) in edges {
+            adj.head[a + 1] += 1;
+            adj.head[b + 1] += 1;
         }
-        let mut parent = vec![u32::MAX; n];
-        let mut order = Vec::with_capacity(n);
-        parent[0] = 0;
-        let mut stack = vec![0u32];
-        while let Some(u) = stack.pop() {
-            order.push(u);
-            for &v in &adj[u as usize] {
-                if parent[v as usize] == u32::MAX {
-                    parent[v as usize] = u;
-                    stack.push(v);
+        for i in 0..n {
+            adj.head[i + 1] += adj.head[i];
+        }
+        adj.cursor.clear();
+        adj.cursor.extend_from_slice(&adj.head[..n]);
+        adj.nbr.clear();
+        adj.nbr.resize(2 * edges.len(), 0);
+        for &(a, b) in edges {
+            adj.nbr[adj.cursor[a] as usize] = b as u32;
+            adj.cursor[a] += 1;
+            adj.nbr[adj.cursor[b] as usize] = a as u32;
+            adj.cursor[b] += 1;
+        }
+        self.parent.clear();
+        self.parent.resize(n, u32::MAX);
+        self.parent[0] = 0;
+        self.order.clear();
+        adj.stack.clear();
+        adj.stack.push(0);
+        while let Some(u) = adj.stack.pop() {
+            self.order.push(u);
+            let (lo, hi) = (adj.head[u as usize] as usize, adj.head[u as usize + 1] as usize);
+            for &v in &adj.nbr[lo..hi] {
+                if self.parent[v as usize] == u32::MAX {
+                    self.parent[v as usize] = u;
+                    adj.stack.push(v);
                 }
             }
         }
-        assert_eq!(order.len(), n, "edges do not span all tree nodes");
-        SteinerTree { nodes, n_pins, parent, order, x_src, y_src }
+        assert_eq!(self.order.len(), n, "edges do not span all tree nodes");
     }
 
     /// Number of pin nodes.
@@ -207,6 +258,15 @@ impl SteinerTree {
         }
         out
     }
+}
+
+/// Reusable CSR adjacency + DFS scratch for [`SteinerTree::rebuild_from_parts`].
+#[derive(Clone, Debug, Default)]
+pub(crate) struct AdjScratch {
+    head: Vec<u32>,
+    cursor: Vec<u32>,
+    nbr: Vec<u32>,
+    stack: Vec<u32>,
 }
 
 #[cfg(test)]

@@ -1,11 +1,17 @@
-//! Property-based tests of the Steiner tree invariants over random nets.
+//! Property-based tests of the Steiner tree invariants over random nets,
+//! and of the topology-table / sequence-cache / parallel-sweep machinery.
 
 use dtp_netlist::{Point, Rect};
-use dtp_rsmt::SteinerTree;
+use dtp_rsmt::{build_tree_with, SteinerTree, TableConfig};
 use proptest::prelude::*;
 
 fn pins_strategy(max: usize) -> impl Strategy<Value = Vec<Point>> {
     proptest::collection::vec((0.0..200.0f64, 0.0..200.0f64), 1..max)
+        .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+}
+
+fn pins_exact(n: usize) -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec((0.0..200.0f64, 0.0..200.0f64), n..n + 1)
         .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
 }
 
@@ -125,5 +131,206 @@ proptest! {
             mst += best.0;
         }
         prop_assert!(t.wirelength() <= mst + 1e-9, "tree {} > mst {mst}", t.wirelength());
+    }
+
+    #[test]
+    fn table_degree4_matches_exact_hanan(pins in pins_exact(4)) {
+        // Degree-4 topology tables are exact: same wirelength as the
+        // Hanan-grid enumeration (the legacy exact construction), on any
+        // pin geometry including ties and collinear runs.
+        let exact = SteinerTree::build(&pins);
+        let table = build_tree_with(&pins, TableConfig::default());
+        prop_assert!(
+            (table.wirelength() - exact.wirelength()).abs() < 1e-9,
+            "table {} != exact {}",
+            table.wirelength(),
+            exact.wirelength()
+        );
+    }
+
+    #[test]
+    fn table_degree5to9_never_worse_than_prim(pins in pins_strategy(10)) {
+        // Degrees 5–9: the table candidate is clamped against the Prim MST
+        // length, so the emitted tree can never lose to the legacy
+        // heuristic (the ≥1 % average win is measured by bench_rsmt).
+        prop_assume!(pins.len() >= 5);
+        let prim = SteinerTree::build(&pins);
+        let table = build_tree_with(&pins, TableConfig::default());
+        prop_assert!(
+            table.wirelength() <= prim.wirelength() + 1e-9,
+            "table {} > prim {}",
+            table.wirelength(),
+            prim.wirelength()
+        );
+        prop_assert_eq!(table.num_pins(), pins.len());
+        // Still a valid rooted spanning structure.
+        for i in 0..table.num_nodes() {
+            let mut u = i;
+            let mut hops = 0;
+            while let Some(p) = table.parent_of(u) {
+                u = p;
+                hops += 1;
+                prop_assert!(hops <= table.num_nodes(), "cycle through node {i}");
+            }
+            prop_assert_eq!(u, 0);
+        }
+    }
+
+    #[test]
+    fn tables_disabled_equals_legacy_build(pins in pins_strategy(16)) {
+        // `TableConfig::disabled()` must reproduce `SteinerTree::build`
+        // node for node — the bit-for-bit inertness the flow golden test
+        // relies on.
+        let legacy = SteinerTree::build(&pins);
+        let off = build_tree_with(&pins, TableConfig::disabled());
+        prop_assert_eq!(off.num_nodes(), legacy.num_nodes());
+        for i in 0..off.num_nodes() {
+            prop_assert_eq!(off.node_pos(i), legacy.node_pos(i));
+            prop_assert_eq!(off.parent_of(i), legacy.parent_of(i));
+        }
+    }
+
+    #[test]
+    fn table_trees_are_bounded(pins in pins_strategy(10)) {
+        // Pin-pin edges may be skewed (their Manhattan length counts the
+        // implicit L, exactly as in the legacy exact-≤4 trees), but the
+        // total must still bracket between HPWL and the star tree.
+        prop_assume!(pins.len() >= 2);
+        let t = build_tree_with(&pins, TableConfig::default());
+        let bbox = Rect::bounding(pins.iter().copied()).expect("non-empty");
+        prop_assert!(t.wirelength() >= bbox.half_perimeter() - 1e-9);
+        let star: f64 = pins[1..].iter().map(|p| p.manhattan(pins[0])).sum();
+        prop_assert!(t.wirelength() <= star + 1e-9);
+    }
+}
+
+/// Bit-for-bit equality of two forests over the same netlist.
+fn assert_forests_identical(a: &dtp_rsmt::SteinerForest, b: &dtp_rsmt::SteinerForest, ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: net counts");
+    for i in 0..a.len() {
+        let n = dtp_netlist::NetId::new(i);
+        match (a.tree(n), b.tree(n)) {
+            (None, None) => {}
+            (Some(x), Some(y)) => {
+                assert_eq!(x.num_nodes(), y.num_nodes(), "{ctx}: net {i} node count");
+                for k in 0..x.num_nodes() {
+                    assert_eq!(x.node_pos(k), y.node_pos(k), "{ctx}: net {i} node {k}");
+                    assert_eq!(x.parent_of(k), y.parent_of(k), "{ctx}: net {i} parent {k}");
+                }
+            }
+            _ => panic!("{ctx}: net {i} present in one forest only"),
+        }
+    }
+}
+
+mod maintenance {
+    use super::assert_forests_identical;
+    use dtp_netlist::generate::{generate, GeneratorConfig};
+    use dtp_netlist::NetId;
+    use dtp_rsmt::{build_forest, build_forest_with, ForestScratch, TableConfig};
+
+    /// Deterministic splitmix64 for position jitter.
+    fn mix(x: u64) -> u64 {
+        let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn jitter(xs: &mut [f64], ys: &mut [f64], movable: &[bool], round: u64, scale: f64) {
+        for i in 0..xs.len() {
+            if movable[i] {
+                let a = mix(round.wrapping_mul(0x1000) + i as u64);
+                let b = mix(a);
+                xs[i] += scale * ((a % 1000) as f64 / 500.0 - 1.0);
+                ys[i] += scale * ((b % 1000) as f64 / 500.0 - 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_sweeps_match_serial_bit_for_bit() {
+        // The chunk-ordered parallel sweeps must produce exactly the trees
+        // the serial forms do, across several drift rounds, for both the
+        // geometry (update) and topology (rebuild) paths, tables on and off.
+        for cfg in [TableConfig::default(), TableConfig::disabled()] {
+            let mut d = generate(&GeneratorConfig::named("par", 400)).unwrap();
+            let mut serial = build_forest_with(&d.netlist, cfg);
+            let mut par = serial.clone();
+            let mut scratch = ForestScratch::new();
+            let nets: Vec<NetId> = d
+                .netlist
+                .net_ids()
+                .filter(|&n| serial.tree(n).is_some())
+                .collect();
+            let movable: Vec<bool> = d
+                .netlist
+                .cell_ids()
+                .map(|c| !d.netlist.cell(c).is_fixed())
+                .collect();
+            let (mut xs, mut ys) = d.netlist.positions();
+            for round in 0..4u64 {
+                jitter(&mut xs, &mut ys, &movable, round, 2.5);
+                d.netlist.set_positions(&xs, &ys);
+                if round % 2 == 0 {
+                    serial.update_nets(&d.netlist, &nets);
+                    par.update_nets_into(&d.netlist, &nets, &mut scratch);
+                } else {
+                    serial.rebuild_nets(&d.netlist, &nets);
+                    par.rebuild_nets_into(&d.netlist, &nets, &mut scratch);
+                }
+                assert_forests_identical(
+                    &serial,
+                    &par,
+                    &format!("tables={} round {round}", cfg.enabled),
+                );
+            }
+            assert_eq!(serial.stats(), par.stats(), "counters diverged");
+        }
+    }
+
+    #[test]
+    fn cached_rebuild_matches_fresh_build() {
+        // After any drift, a rebuild sweep over the maintained forest
+        // (sequence-cache hits and all) must equal a from-scratch
+        // tables-backed build of the same placement, node for node.
+        let mut d = generate(&GeneratorConfig::named("seqcache", 350)).unwrap();
+        let mut forest = build_forest_with(&d.netlist, TableConfig::default());
+        let nets: Vec<NetId> = d
+            .netlist
+            .net_ids()
+            .filter(|&n| forest.tree(n).is_some())
+            .collect();
+        let movable: Vec<bool> = d
+            .netlist
+            .cell_ids()
+            .map(|c| !d.netlist.cell(c).is_fixed())
+            .collect();
+        let (mut xs, mut ys) = d.netlist.positions();
+        for round in 0..6u64 {
+            // Small drifts keep many pin orders intact (cache hits);
+            // occasional large rounds force real topology changes.
+            let scale = if round % 3 == 2 { 25.0 } else { 0.8 };
+            jitter(&mut xs, &mut ys, &movable, round, scale);
+            d.netlist.set_positions(&xs, &ys);
+            forest.rebuild_nets(&d.netlist, &nets);
+            let fresh = build_forest_with(&d.netlist, TableConfig::default());
+            assert_forests_identical(&forest, &fresh, &format!("round {round}"));
+        }
+        let s = forest.stats();
+        assert!(s.seq_hits > 0, "drift loop produced no sequence-cache hits");
+        assert!(s.seq_rebuilds > 0, "drift loop never rebuilt a topology");
+    }
+
+    #[test]
+    fn legacy_build_forest_unchanged_by_tables() {
+        // `build_forest` (used by external re-analysis consumers) must stay
+        // on the legacy constructions regardless of the table machinery.
+        let d = generate(&GeneratorConfig::named("legacy", 200)).unwrap();
+        let a = build_forest(&d.netlist);
+        let b = build_forest_with(&d.netlist, TableConfig::disabled());
+        assert_forests_identical(&a, &b, "legacy vs disabled");
+        let s = a.stats();
+        assert_eq!(s.table, 0, "legacy build must not use tables");
     }
 }

@@ -4,7 +4,7 @@
 use dtp_liberty::synth::synthetic_pdk;
 use dtp_netlist::generate::{generate, GeneratorConfig};
 use dtp_netlist::{CellId, Point};
-use dtp_rsmt::build_forest;
+use dtp_rsmt::{build_forest, build_forest_with, ForestScratch, TableConfig};
 use dtp_sta::Timer;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -116,6 +116,46 @@ fn repeated_incremental_stays_consistent() {
     }
     let full = timer.analyze(&design.netlist, &forest);
     assert_analyses_equal(&analysis, &full);
+}
+
+#[test]
+fn tables_forest_incremental_matches_full() {
+    // Incremental STA over a topology-table forest maintained with the
+    // parallel scratch sweeps must still match a from-scratch analysis:
+    // the timer only sees trees, so the table backend and sequence cache
+    // must be invisible to it.
+    let mut design = generate(&GeneratorConfig::named("inc_tab", 250)).expect("generator");
+    let lib = synthetic_pdk();
+    let timer = Timer::new(&design, &lib).expect("timer builds");
+    let mut forest = build_forest_with(&design.netlist, TableConfig::default());
+    let prev = timer.analyze(&design.netlist, &forest);
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let movable: Vec<CellId> = design.netlist.movable_cells().collect();
+    let mut moved = Vec::new();
+    let mut dirty = Vec::new();
+    for _ in 0..60 {
+        let c = movable[rng.gen_range(0..movable.len())];
+        let pos = design.netlist.cell(c).pos();
+        design.netlist.set_cell_pos(
+            c,
+            Point::new(pos.x + rng.gen_range(-4.0..4.0), pos.y + rng.gen_range(-4.0..4.0)),
+        );
+        moved.push(c);
+        for &pin in design.netlist.cell(c).pins() {
+            if let Some(nid) = design.netlist.pin(pin).net() {
+                if forest.tree(nid).is_some() && !dirty.contains(&nid) {
+                    dirty.push(nid);
+                }
+            }
+        }
+    }
+    let mut scratch = ForestScratch::new();
+    forest.rebuild_nets_into(&design.netlist, &dirty, &mut scratch);
+
+    let incr = timer.analyze_incremental(&design.netlist, &forest, &prev, &moved, true);
+    let full = timer.analyze(&design.netlist, &forest);
+    assert_analyses_equal(&incr, &full);
 }
 
 mod drift_properties {
