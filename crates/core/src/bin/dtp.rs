@@ -5,9 +5,11 @@
 //! dtp gen   <name> <cells> <out_dir>        generate a synthetic design (Bookshelf + .lib + .sdc)
 //! dtp sta   <bookshelf_prefix> <lib_file>   timing report for a placed design
 //! dtp place <bookshelf_prefix_or_proxy> [--mode wl|nw|diff] [--out dir] [--svg file]
-//!           [--bins N] [--no-density-fft]
+//!           [--bins N] [--no-density-fft] [--max-iters N]
 //!           [--route] [--route-grid N] [--route-capacity C] [--route-weight W]
 //!           [--inflation-max F] [--route-period N]
+//!           [--observe] [--profile] [--metrics-out file] [--trace-out file]
+//!           [--log-level error|warn|info|debug]
 //! dtp proxy <sbN> [scale_denom]             print statistics of a superblue proxy
 //! ```
 //!
@@ -15,8 +17,15 @@
 //! `X.{nodes,nets,pl,scl}`) or as a built-in proxy name (`sb1`…`sb18`).
 //! Bookshelf carries no library binding, so `sta`/`place` on Bookshelf input
 //! require the cells to use the synthetic PDK class names.
+//!
+//! Observability: `--profile` prints the end-of-run phase table,
+//! `--metrics-out` writes `metrics.json`, `--trace-out` streams one JSON
+//! object per placement iteration; any of the three implies `--observe`.
+//! `--log-level warn` silences the informational summaries, leaving stdout
+//! machine-clean (the `FlowResult` line only).
 
-use dtp_core::{run_flow, FlowConfig, FlowMode};
+use dtp_core::{run_flow_observed, FlowConfig, FlowMode};
+use dtp_obs::{self as obs, Level, Observer, QorSummary};
 use dtp_liberty::synth::synthetic_pdk;
 use dtp_netlist::generate::{generate, superblue_proxy, GeneratorConfig};
 use dtp_netlist::{bookshelf, Design, NetlistStats, Sdc};
@@ -110,10 +119,12 @@ fn cmd_place(args: &[String]) -> CliResult {
     let Some(spec) = args.first() else {
         return Err(
             "usage: dtp place <design> [--mode wl|nw|diff] [--out dir] [--svg file] \
-             [--bins N] [--no-density-fft] \
+             [--bins N] [--no-density-fft] [--max-iters N] \
              [--no-rsmt-tables] [--rsmt-table-max-degree N] \
              [--route] [--route-grid N] [--route-capacity C] [--route-weight W] \
-             [--inflation-max F] [--route-period N]"
+             [--inflation-max F] [--route-period N] \
+             [--observe] [--profile] [--metrics-out file] [--trace-out file] \
+             [--log-level error|warn|info|debug]"
                 .into(),
         );
     };
@@ -121,6 +132,9 @@ fn cmd_place(args: &[String]) -> CliResult {
     let mut config = FlowConfig::default();
     let mut out_dir: Option<String> = None;
     let mut svg_path: Option<String> = None;
+    let mut profile = false;
+    let mut metrics_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut i = 1;
     // Numeric option value parser (shared by the route knobs).
     fn num<T: std::str::FromStr>(
@@ -190,6 +204,44 @@ fn cmd_place(args: &[String]) -> CliResult {
                 config.route_update_period = num(args, i)?;
                 i += 2;
             }
+            "--max-iters" => {
+                config.max_iters = num(args, i)?;
+                i += 2;
+            }
+            "--observe" => {
+                config.observe = true;
+                i += 1;
+            }
+            "--profile" => {
+                profile = true;
+                config.observe = true;
+                i += 1;
+            }
+            "--metrics-out" => {
+                metrics_out = Some(
+                    args.get(i + 1)
+                        .ok_or("option `--metrics-out` needs a file path")?
+                        .clone(),
+                );
+                config.observe = true;
+                i += 2;
+            }
+            "--trace-out" => {
+                trace_out = Some(
+                    args.get(i + 1)
+                        .ok_or("option `--trace-out` needs a file path")?
+                        .clone(),
+                );
+                config.observe = true;
+                i += 2;
+            }
+            "--log-level" => {
+                let name = args.get(i + 1).ok_or("option `--log-level` needs a level")?;
+                let level = Level::parse(name)
+                    .ok_or_else(|| format!("unknown log level `{name}` (error|warn|info|debug)"))?;
+                obs::log::set_level(level);
+                i += 2;
+            }
             other => return Err(format!("unknown option `{other}`").into()),
         }
     }
@@ -197,7 +249,7 @@ fn cmd_place(args: &[String]) -> CliResult {
     // `--bins` up rather than silently dropping to the dense solver.
     if config.density_fft && !config.bins.is_power_of_two() {
         let rounded = config.bins.next_power_of_two();
-        eprintln!(
+        obs::warn!(
             "warning: --bins {} is not a power of two; rounding up to {rounded} so the \
              FFT density solver applies (use --no-density-fft to keep the exact grid)",
             config.bins
@@ -210,23 +262,51 @@ fn cmd_place(args: &[String]) -> CliResult {
         design.constraints = Sdc::with_period(500.0);
     }
     let lib = synthetic_pdk();
-    let r = run_flow(&design, &lib, mode, &config)?;
+    let mut observer = Observer::new(config.observe);
+    if let Some(path) = &trace_out {
+        let file = std::fs::File::create(path)
+            .map_err(|e| format!("cannot create --trace-out {path}: {e}"))?;
+        observer.set_trace_writer(Box::new(std::io::BufWriter::new(file)));
+    }
+    let r = run_flow_observed(&design, &lib, mode, &config, &mut observer)?;
     println!("{r}");
-    println!(
+    obs::info!(
         "congestion ({}x{} grid, capacity {}): {}",
         config.route_grid, config.route_grid, config.route_capacity, r.congestion
     );
     if r.rsmt.trees > 0 {
-        println!(
+        obs::info!(
             "steiner forest ({}): {}",
             if config.rsmt_tables { "topology tables" } else { "legacy" },
             r.rsmt
         );
     }
+    if profile {
+        // Explicitly requested output: printed regardless of --log-level.
+        print!("{}", observer.report().table());
+    }
+    if let Some(path) = &metrics_out {
+        let qor = QorSummary {
+            design: r.design.clone(),
+            mode: r.mode.to_string(),
+            hpwl: r.hpwl,
+            wns: r.wns,
+            tns: r.tns,
+            iterations: r.iterations as u64,
+            runtime: r.runtime,
+            timing_runtime: r.timing_runtime,
+        };
+        std::fs::write(path, observer.report().to_json(Some(&qor)))
+            .map_err(|e| format!("cannot write --metrics-out {path}: {e}"))?;
+        obs::info!("wrote {path}");
+    }
+    if let Some(path) = &trace_out {
+        obs::info!("wrote {path}");
+    }
     if let Some(dir) = out_dir {
         design.netlist.set_positions(&r.xs, &r.ys);
         bookshelf::write_design(&design, Path::new(&dir))?;
-        println!("wrote placed design to {dir}/");
+        obs::info!("wrote placed design to {dir}/");
     }
     if let Some(path) = svg_path {
         // Color by endpoint-cone slack: hotter = more violating pins.
@@ -255,7 +335,7 @@ fn cmd_place(args: &[String]) -> CliResult {
             ..PlotOptions::default()
         };
         std::fs::write(&path, render_svg(&design, Some(&r.xs), Some(&r.ys), &opts))?;
-        println!("wrote {path}");
+        obs::info!("wrote {path}");
     }
     Ok(())
 }

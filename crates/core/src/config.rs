@@ -209,6 +209,15 @@ pub struct FlowConfig {
     /// Run the RUDY feedback (inflation + net reweighting) every this many
     /// iterations once congestion optimization is active.
     pub route_update_period: usize,
+    /// Enable the observability subsystem (`dtp-obs`): per-phase span
+    /// accumulation, the counters/gauges registry, the iteration ring
+    /// buffer, and (when the caller attaches sinks via
+    /// [`run_flow_observed`](crate::run_flow_observed)) the JSONL trace
+    /// stream. `false` is bit-for-bit inert on the placement trajectory and
+    /// near-zero-cost: only the STA-phase clock reads that always existed
+    /// remain, so [`FlowResult::timing_runtime`](crate::FlowResult) keeps
+    /// working either way.
+    pub observe: bool,
 }
 
 /// Legalization algorithm selection.
@@ -247,6 +256,7 @@ impl Default for FlowConfig {
             route_weight: 1.0,
             inflation_max: 2.5,
             route_update_period: 20,
+            observe: false,
         }
     }
 }

@@ -20,6 +20,7 @@ use crate::config::{FlowConfig, FlowMode, LegalizerChoice};
 use crate::weighting::NetWeighter;
 use dtp_liberty::Library;
 use dtp_netlist::{CellId, Design, NetId, NetlistError};
+use dtp_obs::{Counter, Gauge, IterEvent, Observer, Phase};
 use dtp_place::detail::DetailPlacer;
 use dtp_place::{
     AbacusLegalizer, DensityModel, DensityResult, DensityScratch, Legalizer, NesterovOptimizer,
@@ -113,7 +114,10 @@ pub struct FlowResult {
     pub iterations: usize,
     /// Wall-clock runtime of the whole flow, seconds.
     pub runtime: f64,
-    /// Wall-clock spent inside timing analysis/gradients, seconds.
+    /// Wall-clock spent inside timing analysis/gradients, seconds: the sum
+    /// of the STA-phase spans ([`dtp_obs::Phase::is_sta`]) recorded during
+    /// this run. Value-compatible with the legacy hand-timed accounting and
+    /// populated whether or not observability is on.
     pub timing_runtime: f64,
     /// Optimization trajectory samples.
     pub trace: Vec<TracePoint>,
@@ -375,7 +379,35 @@ pub fn run_flow(
     mode: FlowMode,
     config: &FlowConfig,
 ) -> Result<FlowResult, FlowError> {
+    let mut obs = Observer::new(config.observe);
+    run_flow_observed(design, lib, mode, config, &mut obs)
+}
+
+/// [`run_flow`] with a caller-owned [`Observer`]: the caller can attach a
+/// JSONL trace sink beforehand and read the phase/counter report afterwards
+/// (the `dtp` CLI's `--profile` / `--metrics-out` / `--trace-out` path).
+///
+/// The observer should be freshly constructed per run; its enablement is
+/// honored as-is (it is *not* re-derived from [`FlowConfig::observe`]).
+/// Observability only ever reads clocks and counts events, so an enabled
+/// observer leaves the placement trajectory bit-for-bit identical to a
+/// disabled one — the `obs_golden` tests assert this.
+///
+/// # Errors
+///
+/// Returns [`FlowError::Sta`] if the netlist cannot be bound to the library
+/// or contains combinational cycles.
+pub fn run_flow_observed(
+    design: &Design,
+    lib: &Library,
+    mode: FlowMode,
+    config: &FlowConfig,
+    obs: &mut Observer,
+) -> Result<FlowResult, FlowError> {
     let t_start = Instant::now();
+    // `timing_runtime` is reported as the STA-span delta across this run,
+    // so a reused observer does not double-count an earlier run's time.
+    let sta_seconds_at_entry = obs.sta_seconds();
     let mut work = design.clone();
     let nl_cells = work.netlist.num_cells();
 
@@ -459,7 +491,6 @@ pub fn run_flow(
     let mut lambda = config.lambda_init;
     let mut overflow = 1.0f64;
     let mut trace = Vec::new();
-    let mut timing_runtime = 0.0f64;
     let (mut t1, mut t2) = match mode {
         FlowMode::Differentiable(d) => (d.t1, d.t2),
         _ => (0.0, 0.0),
@@ -468,6 +499,8 @@ pub fn run_flow(
     let mut iterations = 0usize;
     for iter in 0..config.max_iters {
         iterations = iter + 1;
+        obs.iter_begin();
+        obs.add(Counter::Iterations, 1);
         {
             let (a, b) = opt.positions();
             vx.clear();
@@ -500,18 +533,28 @@ pub fn run_flow(
                 // accumulated drift exceeds its bbox budget. Replaces the
                 // blanket periodic full-forest rebuild.
                 match &mut forest {
-                    Some(f) => inc.sync_forest(
-                        &work.netlist,
-                        f,
-                        &vx,
-                        &vy,
-                        config,
-                        &mut forest_scratch,
-                    ),
+                    Some(f) => {
+                        let sp = obs.start(Phase::SteinerUpdate);
+                        inc.sync_forest(
+                            &work.netlist,
+                            f,
+                            &vx,
+                            &vy,
+                            config,
+                            &mut forest_scratch,
+                        );
+                        obs.stop(Phase::SteinerUpdate, sp);
+                        obs.add(Counter::ForestSyncs, 1);
+                        obs.add(Counter::GeoDirtyNets, inc.geo_nets.len() as u64);
+                        obs.add(Counter::TopoDirtyNets, inc.topo_nets.len() as u64);
+                    }
                     None => {
+                        let sp = obs.start(Phase::SteinerBuild);
                         let f = build_forest_with(&work.netlist, table_cfg);
                         inc.reset_after_build(&f, &vx, &vy, config.topo_dirty_frac);
                         forest = Some(f);
+                        obs.stop(Phase::SteinerBuild, sp);
+                        obs.add(Counter::ForestBuilds, 1);
                         if let Some(p) = prev.take() {
                             scratch.recycle(p);
                         }
@@ -523,8 +566,17 @@ pub fn run_flow(
                     _ => 10,
                 };
                 match &mut forest {
-                    Some(f) if iter % rebuild_period != 0 => f.update_positions(&work.netlist),
-                    _ => forest = Some(build_forest_with(&work.netlist, table_cfg)),
+                    Some(f) if iter % rebuild_period != 0 => {
+                        let sp = obs.start(Phase::SteinerUpdate);
+                        f.update_positions(&work.netlist);
+                        obs.stop(Phase::SteinerUpdate, sp);
+                    }
+                    _ => {
+                        let sp = obs.start(Phase::SteinerBuild);
+                        forest = Some(build_forest_with(&work.netlist, table_cfg));
+                        obs.stop(Phase::SteinerBuild, sp);
+                        obs.add(Counter::ForestBuilds, 1);
+                    }
                 }
             }
         }
@@ -537,22 +589,28 @@ pub fn run_flow(
         if route_active {
             let rs = route.as_mut().expect("route state exists when active");
             let f = forest.as_ref().expect("forest built when route is active");
+            let sp = obs.start(Phase::RudyUpdate);
             if !rs.built {
                 rs.map.build(&work.netlist, f);
                 rs.built = true;
+                obs.add(Counter::RudyBuilds, 1);
             } else if config.incremental_timing {
                 rs.map.update_nets(f, &inc.geo_nets);
                 rs.map.update_nets(f, &inc.topo_nets);
                 rs.map.sync_cells(&work.netlist);
+                obs.add(Counter::RudyIncUpdates, 1);
             } else if rs.iters_active % config.route_update_period.max(1) == 0 {
                 rs.map.build(&work.netlist, f);
+                obs.add(Counter::RudyBuilds, 1);
             }
+            obs.stop(Phase::RudyUpdate, sp);
         }
 
         // Wirelength gradient (WA), γ annealed with overflow; congested
         // nets carry their boosted weight (merged with the timing
         // weighter's weights when both mechanisms are on).
         let wa_gamma = (bin_w * (0.1 + 8.0 * overflow)).max(1e-3);
+        let sp = obs.start(Phase::WirelengthGrad);
         if let Some(rs) = route.as_mut().filter(|rs| rs.boosted) {
             rs.combined.clear();
             match weighter.as_ref().map(NetWeighter::weights) {
@@ -566,7 +624,7 @@ pub fn run_flow(
             Some(rs) if rs.boosted => Some(rs.combined.as_slice()),
             _ => weighter.as_ref().map(NetWeighter::weights),
         };
-        let _wl = wl_model.wa_gradient_into(
+        let wl_value = wl_model.wa_gradient_into(
             &vx,
             &vy,
             wa_gamma,
@@ -575,8 +633,10 @@ pub fn run_flow(
             &mut gx,
             &mut gy,
         );
+        obs.stop(Phase::WirelengthGrad, sp);
 
         // Density gradient.
+        let sp = obs.start(Phase::DensityGrad);
         density.evaluate_into(&vx, &vy, &mut dscratch, &mut dres);
         overflow = dres.overflow;
         if lambda == 0.0 {
@@ -594,6 +654,7 @@ pub fn run_flow(
             gx[i] += lambda * dres.grad_x[i];
             gy[i] += lambda * dres.grad_y[i];
         }
+        obs.stop(Phase::DensityGrad, sp);
 
         // Congestion penalty gradient, normalized like the timing
         // preconditioner: its ∞-norm is pinned to `route_weight` times the
@@ -602,6 +663,7 @@ pub fn run_flow(
         if route_active {
             let rs = route.as_mut().expect("route state exists when active");
             let f = forest.as_ref().expect("forest built when route is active");
+            let sp = obs.start(Phase::CongestionGrad);
             rs.penalty
                 .value_and_gradient(&work.netlist, f, &mut rs.pgx, &mut rs.pgy);
             let base_norm = gx
@@ -620,6 +682,7 @@ pub fn run_flow(
                     gy[i] += scale * rs.pgy[i];
                 }
             }
+            obs.stop(Phase::CongestionGrad, sp);
         }
 
         // RUDY feedback every `route_update_period` active iterations:
@@ -628,6 +691,7 @@ pub fn run_flow(
         // effect from the next iteration's gradients.
         if route_active {
             let rs = route.as_mut().expect("route state exists when active");
+            let sp = obs.start(Phase::RudyUpdate);
             if rs.iters_active % config.route_update_period.max(1) == 0 {
                 inflation_factors(
                     &rs.map,
@@ -648,6 +712,7 @@ pub fn run_flow(
                 }
             }
             rs.iters_active += 1;
+            obs.stop(Phase::RudyUpdate, sp);
         }
 
         // Timing mechanisms.
@@ -656,7 +721,7 @@ pub fn run_flow(
         match mode {
             FlowMode::Differentiable(dcfg) if timing_active => {
                 let f = forest.as_ref().expect("forest built when timing is active");
-                let t0 = Instant::now();
+                let sp = obs.start(Phase::StaForward);
                 // Incremental smoothed analysis when only a few nets are
                 // dirty; full re-analysis on the first timing iteration and
                 // past the fallback fraction. Gradients never read RATs, so
@@ -668,6 +733,7 @@ pub fn run_flow(
                             && inc.dirty_fraction(f.len())
                                 <= config.incremental_fallback_frac =>
                     {
+                        obs.add(Counter::StaIncremental, 1);
                         let a = timer.analyze_incremental_into(
                             &work.netlist,
                             f,
@@ -680,6 +746,10 @@ pub fn run_flow(
                         a
                     }
                     p => {
+                        obs.add(Counter::StaFull, 1);
+                        if config.incremental_timing && p.is_some() {
+                            obs.add(Counter::StaFallback, 1);
+                        }
                         if let Some(p) = p {
                             scratch.recycle(p);
                         }
@@ -687,6 +757,8 @@ pub fn run_flow(
                     }
                 };
                 inc.mark_analyzed();
+                obs.stop(Phase::StaForward, sp);
+                let sp = obs.start(Phase::StaBackward);
                 timer.gradients_into(
                     &work.netlist,
                     &analysis,
@@ -697,7 +769,7 @@ pub fn run_flow(
                     &mut grads,
                 );
                 prev = Some(analysis);
-                timing_runtime += t0.elapsed().as_secs_f64();
+                obs.stop(Phase::StaBackward, sp);
                 // Optional preconditioning (§5 future work): normalize the
                 // timing gradient against the combined WL+density gradient.
                 let scale = if dcfg.grad_norm_target > 0.0 {
@@ -725,7 +797,7 @@ pub fn run_flow(
                 if timing_active && (iter - wcfg.start_iter) % wcfg.sta_period == 0 =>
             {
                 let f = forest.as_ref().expect("forest built when timing is active");
-                let t0 = Instant::now();
+                let sp = obs.start(Phase::StaForward);
                 // The weighter reads per-pin slacks, so the incremental
                 // path must recompute the RAT sweep (`recompute_rat`).
                 let analysis = match prev.take() {
@@ -735,6 +807,7 @@ pub fn run_flow(
                             && inc.dirty_fraction(f.len())
                                 <= config.incremental_fallback_frac =>
                     {
+                        obs.add(Counter::StaIncremental, 1);
                         let a = timer.analyze_incremental_into(
                             &work.netlist,
                             f,
@@ -747,6 +820,10 @@ pub fn run_flow(
                         a
                     }
                     p => {
+                        obs.add(Counter::StaFull, 1);
+                        if config.incremental_timing && p.is_some() {
+                            obs.add(Counter::StaFallback, 1);
+                        }
                         if let Some(p) = p {
                             scratch.recycle(p);
                         }
@@ -754,11 +831,13 @@ pub fn run_flow(
                     }
                 };
                 inc.mark_analyzed();
+                obs.stop(Phase::StaForward, sp);
+                let sp = obs.start(Phase::NetWeight);
                 weighter
                     .as_mut()
                     .expect("weighter exists in net-weighting mode")
                     .update(&work.netlist, &wl_model, &analysis);
-                timing_runtime += t0.elapsed().as_secs_f64();
+                obs.stop(Phase::NetWeight, sp);
                 traced_wns = analysis.wns();
                 traced_tns = analysis.tns();
                 prev = Some(analysis);
@@ -769,17 +848,22 @@ pub fn run_flow(
         // Trace (exact timing only every `trace_timing_every` iterations).
         if trace_timing && traced_wns.is_nan() {
             if let Some(f) = forest.as_ref() {
-                let t0 = Instant::now();
+                let sp = obs.start(Phase::TraceSta);
                 let analysis = timer.analyze(&work.netlist, f);
-                timing_runtime += t0.elapsed().as_secs_f64();
+                obs.stop(Phase::TraceSta, sp);
+                obs.add(Counter::TraceAnalyses, 1);
                 traced_wns = analysis.wns();
                 traced_tns = analysis.tns();
             }
         }
+        // Exact HPWL is only computed on traced iterations; telemetry reuses
+        // it and reports `null` elsewhere (the smoothed WA wirelength is
+        // free every iteration).
+        let iter_hpwl = if trace_timing { wl_model.hpwl(&vx, &vy) } else { f64::NAN };
         if trace_timing {
             trace.push(TracePoint {
                 iter,
-                hpwl: wl_model.hpwl(&vx, &vy),
+                hpwl: iter_hpwl,
                 overflow,
                 wns: traced_wns,
                 tns: traced_tns,
@@ -788,10 +872,21 @@ pub fn run_flow(
 
         // Preconditioned Nesterov step (persistent buffer, no per-iteration
         // allocation).
+        let sp = obs.start(Phase::NesterovStep);
         precond.clear();
         precond.extend((0..nl_cells).map(|i| (pin_count[i] + lambda * areas[i]).max(1.0)));
         opt.step(&gx, &gy, &precond);
         lambda *= config.lambda_growth;
+        obs.stop(Phase::NesterovStep, sp);
+
+        obs.iter_end(IterEvent {
+            iter: iter as u64,
+            wl: wl_value,
+            hpwl: iter_hpwl,
+            overflow,
+            wns: traced_wns,
+            tns: traced_tns,
+        });
 
         if iter > 30 && overflow < config.stop_overflow {
             break;
@@ -804,16 +899,20 @@ pub fn run_flow(
         (a.to_vec(), b.to_vec())
     };
     work.netlist.set_positions(&sx, &sy);
+    let sp = obs.start(Phase::SteinerBuild);
     let gp_forest = build_forest(&work.netlist);
-    let t0 = Instant::now();
+    obs.stop(Phase::SteinerBuild, sp);
+    obs.add(Counter::ForestBuilds, 1);
+    let sp = obs.start(Phase::FinalSta);
     let gp_analysis = timer.analyze(&work.netlist, &gp_forest);
-    timing_runtime += t0.elapsed().as_secs_f64();
+    obs.stop(Phase::FinalSta, sp);
     let gp_hpwl = wl_model.hpwl(&sx, &sy);
     let (gp_wns, gp_tns) = (gp_analysis.wns(), gp_analysis.tns());
 
     // --- legalization + detailed placement -------------------------------------
     let mut lx = sx;
     let mut ly = sy;
+    let sp = obs.start(Phase::Legalize);
     match config.legalizer {
         LegalizerChoice::Abacus => {
             AbacusLegalizer::new(&work).legalize(&work, &mut lx, &mut ly);
@@ -822,18 +921,42 @@ pub fn run_flow(
             Legalizer::new(&work).legalize(&work, &mut lx, &mut ly);
         }
     }
+    obs.stop(Phase::Legalize, sp);
+    let sp = obs.start(Phase::DetailPlace);
     DetailPlacer::new(&work).refine(&work, &mut lx, &mut ly, config.detail_passes);
+    obs.stop(Phase::DetailPlace, sp);
     work.netlist.set_positions(&lx, &ly);
+    let sp = obs.start(Phase::SteinerBuild);
     let final_forest = build_forest(&work.netlist);
-    let t0 = Instant::now();
+    obs.stop(Phase::SteinerBuild, sp);
+    obs.add(Counter::ForestBuilds, 1);
+    let sp = obs.start(Phase::FinalSta);
     let final_analysis = timer.analyze(&work.netlist, &final_forest);
-    timing_runtime += t0.elapsed().as_secs_f64();
+    obs.stop(Phase::FinalSta, sp);
     let congestion = {
         let g = config.route_grid.max(2);
         let mut map = RudyMap::new(&work, g, g, config.route_capacity);
+        let sp = obs.start(Phase::RudyUpdate);
         map.build(&work.netlist, &final_forest);
+        obs.stop(Phase::RudyUpdate, sp);
+        obs.add(Counter::RudyBuilds, 1);
         map.summary()
     };
+    let rsmt = forest.as_ref().map(SteinerForest::stats).unwrap_or_default();
+
+    // End-of-run gauges: backend selections and pool state. Cheap enough to
+    // record unconditionally (the registry writes are gated inside `gauge`).
+    obs.gauge(Gauge::FftBackend, if density.uses_fft() { 1.0 } else { 0.0 });
+    obs.gauge(Gauge::OverflowedFrac, congestion.overflowed_frac);
+    obs.gauge(Gauge::RsmtExact, rsmt.exact as f64);
+    obs.gauge(Gauge::RsmtTable, rsmt.table as f64);
+    obs.gauge(Gauge::RsmtPrim, rsmt.prim as f64);
+    obs.gauge(Gauge::RsmtSeqHits, rsmt.seq_hits as f64);
+    obs.gauge(Gauge::RsmtSeqRebuilds, rsmt.seq_rebuilds as f64);
+    obs.gauge(Gauge::PoolDispatches, rayon::dispatch_count() as f64);
+    obs.gauge(Gauge::PoolThreads, rayon::current_num_threads() as f64);
+    obs.flush();
+    let timing_runtime = obs.sta_seconds() - sta_seconds_at_entry;
 
     Ok(FlowResult {
         mode: mode.label(),
@@ -852,6 +975,6 @@ pub fn run_flow(
         xs: lx,
         ys: ly,
         congestion,
-        rsmt: forest.as_ref().map(SteinerForest::stats).unwrap_or_default(),
+        rsmt,
     })
 }

@@ -46,7 +46,8 @@ mod timing_detail;
 mod weighting;
 
 pub use config::{DiffTimingConfig, FlowConfig, FlowMode, LegalizerChoice, NetWeightConfig, WireModelChoice};
+pub use dtp_obs::Observer;
 pub use dtp_route::CongestionSummary;
-pub use flow::{run_flow, FlowError, FlowResult, TracePoint};
+pub use flow::{run_flow, run_flow_observed, FlowError, FlowResult, TracePoint};
 pub use timing_detail::{refine_timing, TimingDetailConfig, TimingDetailResult};
 pub use weighting::NetWeighter;

@@ -1,0 +1,237 @@
+//! Golden tests for the observability subsystem (`dtp-obs`).
+//!
+//! The contract under test: observability is *pure telemetry*. With
+//! `observe = false` the flow must be bit-for-bit identical to an observed
+//! run; `FlowResult::timing_runtime` must equal the sum of the STA-phase
+//! spans either way; the JSONL stream must emit one valid JSON object per
+//! iteration; and at `--log-level warn` the CLI's stdout must contain
+//! nothing but the result line.
+
+use dtp_core::{run_flow, run_flow_observed, FlowConfig, FlowMode, FlowResult, Observer};
+use dtp_liberty::synth::synthetic_pdk;
+use dtp_netlist::generate::{generate, GeneratorConfig};
+use dtp_netlist::bookshelf;
+use dtp_obs::json;
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::{Arc, Mutex};
+
+fn design() -> dtp_netlist::Design {
+    generate(&GeneratorConfig::named("obs-golden", 700)).expect("generator succeeds")
+}
+
+fn base_config() -> FlowConfig {
+    FlowConfig {
+        max_iters: 200,
+        trace_timing_every: 10,
+        ..FlowConfig::default()
+    }
+}
+
+fn assert_identical(a: &FlowResult, b: &FlowResult) {
+    assert_eq!(a.iterations, b.iterations, "iteration counts diverged");
+    assert_eq!(a.trace.len(), b.trace.len(), "trace lengths diverged");
+    for (p, q) in a.trace.iter().zip(&b.trace) {
+        assert_eq!(p.iter, q.iter);
+        assert_eq!(p.hpwl, q.hpwl, "iter {}: HPWL diverged", p.iter);
+        assert_eq!(p.overflow, q.overflow, "iter {}: overflow diverged", p.iter);
+        assert!(
+            p.wns == q.wns || (p.wns.is_nan() && q.wns.is_nan()),
+            "iter {}: WNS {} vs {}",
+            p.iter,
+            p.wns,
+            q.wns
+        );
+        assert!(
+            p.tns == q.tns || (p.tns.is_nan() && q.tns.is_nan()),
+            "iter {}: TNS {} vs {}",
+            p.iter,
+            p.tns,
+            q.tns
+        );
+    }
+    assert_eq!(a.xs, b.xs, "final x positions diverged");
+    assert_eq!(a.ys, b.ys, "final y positions diverged");
+    assert_eq!(a.hpwl, b.hpwl);
+    assert_eq!(a.wns, b.wns);
+    assert_eq!(a.tns, b.tns);
+}
+
+/// A `Write` that appends into a shared buffer (in-memory JSONL sink).
+#[derive(Clone)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn observe_off_is_bit_for_bit_identical_to_observe_on() {
+    let d = design();
+    let lib = synthetic_pdk();
+    let off = run_flow(&d, &lib, FlowMode::differentiable(), &base_config())
+        .expect("unobserved flow runs");
+    let observed_cfg = FlowConfig { observe: true, ..base_config() };
+    let mut obs = Observer::new(true);
+    let on = run_flow_observed(&d, &lib, FlowMode::differentiable(), &observed_cfg, &mut obs)
+        .expect("observed flow runs");
+    assert_identical(&off, &on);
+    // The observed run actually recorded something.
+    assert!(obs.spans().total_seconds() > 0.0, "no spans recorded");
+    assert_eq!(
+        obs.registry().get(dtp_obs::Counter::Iterations) as usize,
+        on.iterations,
+        "iteration counter disagrees with the flow"
+    );
+    assert_eq!(
+        obs.ring().total_pushed() as usize,
+        on.iterations,
+        "ring samples disagree with the flow"
+    );
+}
+
+#[test]
+fn timing_runtime_equals_sta_span_sum() {
+    let d = design();
+    let lib = synthetic_pdk();
+    // Observability off: the STA spans still accumulate, and the reported
+    // timing_runtime is exactly their sum (fresh observer, so no delta
+    // correction applies).
+    let mut obs = Observer::disabled();
+    let r = run_flow_observed(&d, &lib, FlowMode::differentiable(), &base_config(), &mut obs)
+        .expect("flow runs");
+    assert_eq!(
+        r.timing_runtime,
+        obs.sta_seconds(),
+        "timing_runtime must be the STA-phase span sum"
+    );
+    assert!(r.timing_runtime > 0.0, "timing flow spent no time in STA");
+    assert!(
+        r.timing_runtime < r.runtime,
+        "STA time {} exceeds whole-flow runtime {}",
+        r.timing_runtime,
+        r.runtime
+    );
+}
+
+#[test]
+fn jsonl_stream_emits_one_valid_object_per_iteration() {
+    let d = design();
+    let lib = synthetic_pdk();
+    let cfg = FlowConfig { observe: true, ..base_config() };
+    let buf = Arc::new(Mutex::new(Vec::new()));
+    let mut obs = Observer::new(true);
+    obs.set_trace_writer(Box::new(SharedBuf(Arc::clone(&buf))));
+    let r = run_flow_observed(&d, &lib, FlowMode::differentiable(), &cfg, &mut obs)
+        .expect("flow runs");
+    let text = String::from_utf8(buf.lock().unwrap().clone()).expect("JSONL is UTF-8");
+    assert_eq!(
+        text.lines().count(),
+        r.iterations,
+        "one JSONL event per placement iteration"
+    );
+    assert!(!text.contains("NaN"), "raw NaN token leaked into the stream");
+    assert!(!text.contains("inf"), "raw infinity token leaked into the stream");
+    for (i, line) in text.lines().enumerate() {
+        let v = json::parse(line).unwrap_or_else(|e| panic!("line {i} unparseable ({e}): {line}"));
+        assert_eq!(v.get("iter").and_then(|x| x.as_f64()), Some(i as f64));
+        let wns = v.get("wns").expect("wns member present");
+        assert!(wns.is_null() || wns.as_f64().is_some());
+    }
+}
+
+/// Generates a design on disk and returns (dir, bookshelf prefix path).
+fn write_cli_fixture(tag: &str) -> (PathBuf, PathBuf) {
+    let name = format!("obs-cli-{tag}");
+    let d = generate(&GeneratorConfig::named(&name, 400)).expect("generator succeeds");
+    let dir = std::env::temp_dir().join(format!("dtp-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    bookshelf::write_design(&d, &dir).expect("bookshelf written");
+    let prefix = dir.join(&name);
+    (dir, prefix)
+}
+
+#[test]
+fn cli_log_level_warn_leaves_stdout_machine_clean() {
+    let (dir, prefix) = write_cli_fixture("quiet");
+    let out = Command::new(env!("CARGO_BIN_EXE_dtp"))
+        .args([
+            "place",
+            prefix.to_str().unwrap(),
+            "--mode",
+            "wl",
+            "--max-iters",
+            "40",
+            "--log-level",
+            "warn",
+        ])
+        .output()
+        .expect("dtp runs");
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(out.status.success(), "dtp failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).expect("stdout is UTF-8");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(
+        lines.len(),
+        1,
+        "--log-level warn must leave only the result line on stdout, got:\n{stdout}"
+    );
+    assert!(
+        lines[0].starts_with("DREAMPlace"),
+        "unexpected result line: {}",
+        lines[0]
+    );
+}
+
+#[test]
+fn cli_profile_metrics_and_trace_outputs() {
+    let (dir, prefix) = write_cli_fixture("sinks");
+    let metrics = dir.join("metrics.json");
+    let trace = dir.join("trace.jsonl");
+    let out = Command::new(env!("CARGO_BIN_EXE_dtp"))
+        .args([
+            "place",
+            prefix.to_str().unwrap(),
+            "--mode",
+            "diff",
+            "--max-iters",
+            "120",
+            "--profile",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .expect("dtp runs");
+    assert!(out.status.success(), "dtp failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).expect("stdout is UTF-8");
+    assert!(
+        stdout.contains("phase breakdown"),
+        "--profile printed no phase table:\n{stdout}"
+    );
+    assert!(stdout.contains("sta_forward"), "phase table misses STA phases:\n{stdout}");
+
+    let metrics_text = std::fs::read_to_string(&metrics).expect("metrics.json written");
+    let v = json::parse(&metrics_text).expect("metrics.json parses");
+    assert_eq!(v.get("schema").and_then(|s| s.as_str()), Some(dtp_obs::METRICS_SCHEMA));
+    assert!(v.get("qor").is_some(), "metrics.json misses the QoR block");
+    assert!(
+        v.get("phases").and_then(|p| p.as_array()).is_some_and(|a| !a.is_empty()),
+        "metrics.json misses phases"
+    );
+
+    let trace_text = std::fs::read_to_string(&trace).expect("trace.jsonl written");
+    assert!(trace_text.lines().count() > 0, "trace stream is empty");
+    for line in trace_text.lines() {
+        json::parse(line).unwrap_or_else(|e| panic!("trace line unparseable ({e}): {line}"));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

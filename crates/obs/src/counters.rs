@@ -1,0 +1,207 @@
+//! The counters/gauges registry: the health signals of the incremental
+//! subsystems, recorded into fixed arrays (no hashing, no allocation).
+//!
+//! Counters are monotone event totals incremented from the hot loop; gauges
+//! are point-in-time values (backend selections, final cache statistics) set
+//! once or at a coarse cadence. Both serialize into `metrics.json` and the
+//! per-iteration JSONL stream (counters as per-iteration deltas).
+
+/// Monotone event counters of the placement flow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Counter {
+    /// Global-placement iterations executed.
+    Iterations = 0,
+    /// Nets classified geometry-dirty (coordinate-only Steiner update).
+    GeoDirtyNets,
+    /// Nets classified topology-dirty (per-net Steiner rebuild).
+    TopoDirtyNets,
+    /// Incremental STA analyses.
+    StaIncremental,
+    /// Full STA analyses in the loop (first analysis or fallback).
+    StaFull,
+    /// Full analyses that were *fallbacks*: an incremental-eligible state
+    /// existed but the dirty fraction (or γ mismatch) forced a full sweep.
+    StaFallback,
+    /// Full Steiner-forest builds.
+    ForestBuilds,
+    /// Incremental forest synchronizations (dirty-set sweeps).
+    ForestSyncs,
+    /// Full RUDY congestion-map builds.
+    RudyBuilds,
+    /// Incremental RUDY net updates (dirty-set batches applied).
+    RudyIncUpdates,
+    /// Exact STA runs performed only to feed the trace.
+    TraceAnalyses,
+}
+
+impl Counter {
+    /// Number of counters (length of every per-counter array).
+    pub const COUNT: usize = 11;
+
+    /// Every counter, in slot order.
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::Iterations,
+        Counter::GeoDirtyNets,
+        Counter::TopoDirtyNets,
+        Counter::StaIncremental,
+        Counter::StaFull,
+        Counter::StaFallback,
+        Counter::ForestBuilds,
+        Counter::ForestSyncs,
+        Counter::RudyBuilds,
+        Counter::RudyIncUpdates,
+        Counter::TraceAnalyses,
+    ];
+
+    /// Dense slot index of this counter.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name used in the structured sinks.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::Iterations => "iterations",
+            Counter::GeoDirtyNets => "geo_dirty_nets",
+            Counter::TopoDirtyNets => "topo_dirty_nets",
+            Counter::StaIncremental => "sta_incremental",
+            Counter::StaFull => "sta_full",
+            Counter::StaFallback => "sta_fallback",
+            Counter::ForestBuilds => "forest_builds",
+            Counter::ForestSyncs => "forest_syncs",
+            Counter::RudyBuilds => "rudy_builds",
+            Counter::RudyIncUpdates => "rudy_inc_updates",
+            Counter::TraceAnalyses => "trace_analyses",
+        }
+    }
+}
+
+/// Point-in-time gauges: backend selections and end-of-run cache statistics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Gauge {
+    /// 1.0 when the density model runs the FFT Poisson backend, 0.0 dense.
+    FftBackend = 0,
+    /// Fraction of routing bins over capacity in the final placement.
+    OverflowedFrac,
+    /// Steiner trees from exact constructions (final forest composition).
+    RsmtExact,
+    /// Steiner trees from topology-table lookups.
+    RsmtTable,
+    /// Steiner trees from the Prim fallback heuristic.
+    RsmtPrim,
+    /// Sequence-cache hits (rebuilds skipped) in the in-loop forest.
+    RsmtSeqHits,
+    /// Sequence-cache misses (topology reconstructions).
+    RsmtSeqRebuilds,
+    /// Parallel regions dispatched to the worker pool (process-wide).
+    PoolDispatches,
+    /// Worker-pool width (threads participating in a parallel region).
+    PoolThreads,
+}
+
+impl Gauge {
+    /// Number of gauges (length of every per-gauge array).
+    pub const COUNT: usize = 9;
+
+    /// Every gauge, in slot order.
+    pub const ALL: [Gauge; Gauge::COUNT] = [
+        Gauge::FftBackend,
+        Gauge::OverflowedFrac,
+        Gauge::RsmtExact,
+        Gauge::RsmtTable,
+        Gauge::RsmtPrim,
+        Gauge::RsmtSeqHits,
+        Gauge::RsmtSeqRebuilds,
+        Gauge::PoolDispatches,
+        Gauge::PoolThreads,
+    ];
+
+    /// Dense slot index of this gauge.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name used in the structured sinks.
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::FftBackend => "fft_backend",
+            Gauge::OverflowedFrac => "overflowed_frac",
+            Gauge::RsmtExact => "rsmt_exact",
+            Gauge::RsmtTable => "rsmt_table",
+            Gauge::RsmtPrim => "rsmt_prim",
+            Gauge::RsmtSeqHits => "rsmt_seq_hits",
+            Gauge::RsmtSeqRebuilds => "rsmt_seq_rebuilds",
+            Gauge::PoolDispatches => "pool_dispatches",
+            Gauge::PoolThreads => "pool_threads",
+        }
+    }
+}
+
+/// Fixed-size counter/gauge storage.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Registry {
+    counters: [u64; Counter::COUNT],
+    gauges: [f64; Gauge::COUNT],
+}
+
+impl Registry {
+    /// Adds `n` to `counter`.
+    #[inline]
+    pub fn add(&mut self, counter: Counter, n: u64) {
+        self.counters[counter.index()] += n;
+    }
+
+    /// Current total of `counter`.
+    #[inline]
+    pub fn get(&self, counter: Counter) -> u64 {
+        self.counters[counter.index()]
+    }
+
+    /// All counter totals, in [`Counter::ALL`] order.
+    #[inline]
+    pub fn counters(&self) -> [u64; Counter::COUNT] {
+        self.counters
+    }
+
+    /// Sets `gauge` to `v`.
+    #[inline]
+    pub fn set(&mut self, gauge: Gauge, v: f64) {
+        self.gauges[gauge.index()] = v;
+    }
+
+    /// Current value of `gauge` (0.0 until first set).
+    #[inline]
+    pub fn gauge(&self, gauge: Gauge) -> f64 {
+        self.gauges[gauge.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_indices_match_all() {
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        for (i, g) in Gauge::ALL.iter().enumerate() {
+            assert_eq!(g.index(), i);
+        }
+    }
+
+    #[test]
+    fn registry_accumulates_and_sets() {
+        let mut r = Registry::default();
+        r.add(Counter::GeoDirtyNets, 5);
+        r.add(Counter::GeoDirtyNets, 2);
+        r.set(Gauge::FftBackend, 1.0);
+        assert_eq!(r.get(Counter::GeoDirtyNets), 7);
+        assert_eq!(r.get(Counter::TopoDirtyNets), 0);
+        assert_eq!(r.gauge(Gauge::FftBackend), 1.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! The fixed phase taxonomy of the placement flow.
+//!
+//! Spans accumulate into a dense array indexed by [`Phase`], so the set is a
+//! closed enum rather than string keys: recording a span is two `Instant`
+//! reads and one array add, with no hashing and no allocation. The variants
+//! mirror where the wall-clock of one global-placement iteration can go
+//! (gradient terms, Steiner-forest maintenance, STA sweeps) plus the post-GP
+//! pipeline stages.
+
+/// One timed phase of the placement flow.
+///
+/// The discriminants are dense (`0..Phase::COUNT`) and stable within a run;
+/// [`Phase::index`] is the slot in every per-phase array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Phase {
+    /// Weighted-average wirelength gradient (incl. the weight merge).
+    WirelengthGrad = 0,
+    /// Electrostatic density evaluation + gradient accumulation.
+    DensityGrad,
+    /// Smoothed congestion-penalty gradient (route-aware flows).
+    CongestionGrad,
+    /// RUDY congestion-map builds and incremental updates.
+    RudyUpdate,
+    /// Full Steiner-forest builds.
+    SteinerBuild,
+    /// Incremental forest maintenance: branch updates + per-net rebuilds.
+    SteinerUpdate,
+    /// STA forward sweeps in the loop (smoothed or exact analyses).
+    StaForward,
+    /// Timing-gradient backward accumulation.
+    StaBackward,
+    /// Net-weighting updates driven by the exact STA (baseline mode).
+    NetWeight,
+    /// Exact STA runs that only feed the trace (`trace_timing_every`).
+    TraceSta,
+    /// Preconditioned Nesterov step.
+    NesterovStep,
+    /// Legalization (Abacus or Tetris).
+    Legalize,
+    /// Detailed-placement refinement passes.
+    DetailPlace,
+    /// Post-GP and final exact analyses (reporting).
+    FinalSta,
+}
+
+impl Phase {
+    /// Number of phases (length of every per-phase array).
+    pub const COUNT: usize = 14;
+
+    /// Every phase, in slot order.
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::WirelengthGrad,
+        Phase::DensityGrad,
+        Phase::CongestionGrad,
+        Phase::RudyUpdate,
+        Phase::SteinerBuild,
+        Phase::SteinerUpdate,
+        Phase::StaForward,
+        Phase::StaBackward,
+        Phase::NetWeight,
+        Phase::TraceSta,
+        Phase::NesterovStep,
+        Phase::Legalize,
+        Phase::DetailPlace,
+        Phase::FinalSta,
+    ];
+
+    /// Dense slot index of this phase.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name used in `metrics.json` and the JSONL stream.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::WirelengthGrad => "wirelength_grad",
+            Phase::DensityGrad => "density_grad",
+            Phase::CongestionGrad => "congestion_grad",
+            Phase::RudyUpdate => "rudy_update",
+            Phase::SteinerBuild => "steiner_build",
+            Phase::SteinerUpdate => "steiner_update",
+            Phase::StaForward => "sta_forward",
+            Phase::StaBackward => "sta_backward",
+            Phase::NetWeight => "net_weight",
+            Phase::TraceSta => "trace_sta",
+            Phase::NesterovStep => "nesterov_step",
+            Phase::Legalize => "legalize",
+            Phase::DetailPlace => "detail_place",
+            Phase::FinalSta => "final_sta",
+        }
+    }
+
+    /// Whether this phase counts toward the flow's `timing_runtime`
+    /// (the legacy hand-timed "wall-clock inside timing analysis" metric).
+    ///
+    /// These phases are timed even when observability is off, so
+    /// `FlowResult::timing_runtime` stays value-compatible with the
+    /// pre-observability accounting at the same (negligible) cost: the same
+    /// handful of `Instant` reads per iteration the old code did.
+    #[inline]
+    pub fn is_sta(self) -> bool {
+        matches!(
+            self,
+            Phase::StaForward
+                | Phase::StaBackward
+                | Phase::NetWeight
+                | Phase::TraceSta
+                | Phase::FinalSta
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_match_all() {
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+        assert_eq!(Phase::ALL.len(), Phase::COUNT);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        for a in Phase::ALL {
+            for b in Phase::ALL {
+                if a != b {
+                    assert_ne!(a.name(), b.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sta_set_matches_legacy_accounting() {
+        let sta: Vec<Phase> = Phase::ALL.iter().copied().filter(|p| p.is_sta()).collect();
+        assert_eq!(
+            sta,
+            [
+                Phase::StaForward,
+                Phase::StaBackward,
+                Phase::NetWeight,
+                Phase::TraceSta,
+                Phase::FinalSta
+            ]
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests for the structured sinks: for arbitrary counter/phase
+//! states — including the NAN/±inf QoR samples of untraced iterations —
+//! the JSONL writer must emit exactly one valid, parseable JSON object per
+//! line, and `metrics.json` must always parse.
+
+use dtp_obs::{json, write_jsonl_event, Counter, IterEvent, Phase};
+use proptest::prelude::*;
+
+/// Maps a raw u64 onto an "interesting" f64: finite values plus the
+/// non-finite specials that must serialize as `null`.
+fn telemetry_f64(raw: u64, scale: f64) -> f64 {
+    match raw % 7 {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => 0.0,
+        4 => -(raw as f64) * scale,
+        5 => (raw as f64) * scale * 1e-9,
+        _ => (raw as f64) * scale,
+    }
+}
+
+proptest! {
+    #[test]
+    fn jsonl_lines_always_parse(
+        iters in proptest::collection::vec(
+            (0u64..1_000_000, 0u64..u64::MAX, 0u64..u64::MAX),
+            1..20
+        ),
+        ns_seed in 0u64..u64::MAX,
+        cd_seed in 0u64..u64::MAX,
+    ) {
+        let mut buf: Vec<u8> = Vec::new();
+        for &(iter, qa, qb) in &iters {
+            // Arbitrary per-phase nanoseconds (sparse: some slots zero).
+            let mut phase_ns = [0u64; Phase::COUNT];
+            for (i, slot) in phase_ns.iter_mut().enumerate() {
+                let v = ns_seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(iter ^ (i as u64) << 32);
+                *slot = if v % 3 == 0 { 0 } else { v % 1_000_000_000 };
+            }
+            let mut counter_delta = [0u64; Counter::COUNT];
+            for (i, slot) in counter_delta.iter_mut().enumerate() {
+                let v = cd_seed.wrapping_add((iter + 1).wrapping_mul(i as u64 + 1));
+                *slot = if v % 4 == 0 { 0 } else { v % 100_000 };
+            }
+            let ev = IterEvent {
+                iter,
+                wl: telemetry_f64(qa, 1.0),
+                hpwl: telemetry_f64(qa.rotate_left(13), 1e3),
+                overflow: telemetry_f64(qb, 1e-3),
+                wns: telemetry_f64(qb.rotate_left(27), -1.0),
+                tns: telemetry_f64(qa ^ qb, -1e2),
+            };
+            write_jsonl_event(&mut buf, &ev, &phase_ns, &counter_delta).unwrap();
+        }
+        let text = String::from_utf8(buf).expect("sink output is UTF-8");
+        // Exactly one line per event...
+        prop_assert_eq!(text.lines().count(), iters.len());
+        prop_assert!(text.ends_with('\n'));
+        // ...and every line is a standalone valid JSON object with the
+        // expected members; no NaN/Infinity token ever leaks.
+        prop_assert!(!text.contains("NaN") && !text.contains("inf"));
+        for (line, &(iter, _, _)) in text.lines().zip(&iters) {
+            let v = match json::parse(line) {
+                Ok(v) => v,
+                Err(e) => return Err(TestCaseError::Fail(format!("bad line {line:?}: {e}"))),
+            };
+            prop_assert_eq!(v.get("iter").and_then(|x| x.as_f64()), Some(iter as f64));
+            for key in ["wl", "hpwl", "overflow", "wns", "tns"] {
+                let field = v.get(key).expect("QoR member present");
+                prop_assert!(field.is_null() || field.as_f64().is_some());
+            }
+            prop_assert!(v.get("phase_ns").is_some());
+            prop_assert!(v.get("counters").is_some());
+        }
+    }
+}

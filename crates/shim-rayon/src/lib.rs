@@ -31,7 +31,7 @@ pub mod chunks;
 pub mod pool;
 
 pub use chunks::{ParChunkExt, ParallelSlice, ParallelSliceMut};
-pub use pool::{current_num_threads, Pool};
+pub use pool::{current_num_threads, dispatch_count, Pool};
 
 use std::marker::PhantomData;
 use std::ops::Range;

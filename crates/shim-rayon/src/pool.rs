@@ -32,8 +32,21 @@
 
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Process-wide count of parallel regions actually dispatched to workers
+/// (inline-executed regions are not counted). Observability reads this to
+/// report how much work went through the pool.
+static DISPATCHES: AtomicU64 = AtomicU64::new(0);
+
+/// Total parallel regions dispatched to pool workers since process start.
+///
+/// One relaxed load; safe to poll from hot paths. Regions that ran inline
+/// (trivial size, nested calls, single-thread pools) are excluded.
+pub fn dispatch_count() -> u64 {
+    DISPATCHES.load(Ordering::Relaxed)
+}
 
 thread_local! {
     /// True on pool worker threads: parallel calls made from inside a job
@@ -182,6 +195,7 @@ impl Pool {
             panic: Mutex::new(None),
         };
 
+        DISPATCHES.fetch_add(1, Ordering::Relaxed);
         {
             let mut slot = self.shared.slot.lock().unwrap();
             slot.seq += 1;
@@ -342,6 +356,19 @@ mod tests {
             });
         });
         assert_eq!(count.load(Ordering::Relaxed), 8 * 16);
+    }
+
+    #[test]
+    fn dispatch_counter_tracks_pooled_regions() {
+        // The counter is process-global and other tests run concurrently,
+        // so only lower-bound deltas are assertable: our own 100 pooled
+        // regions must each have counted.
+        let pool = Pool::new(4);
+        let before = dispatch_count();
+        for _ in 0..100 {
+            pool.run(64, |_| {});
+        }
+        assert!(dispatch_count() >= before + 100, "pooled regions not counted");
     }
 
     #[test]
