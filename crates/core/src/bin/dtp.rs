@@ -5,7 +5,7 @@
 //! dtp gen   <name> <cells> <out_dir>        generate a synthetic design (Bookshelf + .lib + .sdc)
 //! dtp sta   <bookshelf_prefix> <lib_file>   timing report for a placed design
 //! dtp place <bookshelf_prefix_or_proxy> [--mode wl|nw|diff] [--out dir] [--svg file]
-//!           [--bins N] [--no-density-fft] [--max-iters N]
+//!           [--bins N] [--no-density-fft] [--max-iters N] [--threads N]
 //!           [--route] [--route-grid N] [--route-capacity C] [--route-weight W]
 //!           [--inflation-max F] [--route-period N]
 //!           [--observe] [--profile] [--metrics-out file] [--trace-out file]
@@ -119,7 +119,7 @@ fn cmd_place(args: &[String]) -> CliResult {
     let Some(spec) = args.first() else {
         return Err(
             "usage: dtp place <design> [--mode wl|nw|diff] [--out dir] [--svg file] \
-             [--bins N] [--no-density-fft] [--max-iters N] \
+             [--bins N] [--no-density-fft] [--max-iters N] [--threads N] \
              [--no-rsmt-tables] [--rsmt-table-max-degree N] \
              [--route] [--route-grid N] [--route-capacity C] [--route-weight W] \
              [--inflation-max F] [--route-period N] \
@@ -206,6 +206,10 @@ fn cmd_place(args: &[String]) -> CliResult {
             }
             "--max-iters" => {
                 config.max_iters = num(args, i)?;
+                i += 2;
+            }
+            "--threads" => {
+                config.threads = num(args, i)?;
                 i += 2;
             }
             "--observe" => {

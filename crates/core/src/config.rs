@@ -218,6 +218,13 @@ pub struct FlowConfig {
     /// remain, so [`FlowResult::timing_runtime`](crate::FlowResult) keeps
     /// working either way.
     pub observe: bool,
+    /// Worker threads for the parallel phases (Nesterov update, gradient
+    /// sweeps, legalization bands). 0 = the ambient pool (the process-global
+    /// default, or whatever [`rayon::with_pool`] scope encloses the call);
+    /// any other value runs the flow on a dedicated pool of that width.
+    /// Every parallel kernel reduces in fixed chunk order, so the placement
+    /// trajectory is bit-for-bit identical for every value of this knob.
+    pub threads: usize,
 }
 
 /// Legalization algorithm selection.
@@ -257,6 +264,7 @@ impl Default for FlowConfig {
             inflation_max: 2.5,
             route_update_period: 20,
             observe: false,
+            threads: 0,
         }
     }
 }

@@ -31,8 +31,25 @@ use dtp_rsmt::{build_forest, build_forest_with, ForestScratch, ForestStats, Stei
 use dtp_sta::{Analysis, AnalysisScratch, PositionGradients, StaError, Timer, TimerConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 use std::fmt;
 use std::time::Instant;
+
+/// Fixed chunk size for the flow's per-cell gradient merges. The merges are
+/// elementwise, so any chunking gives identical results; a fixed size keeps
+/// the parallel shape independent of the pool width.
+const MERGE_CHUNK: usize = 4096;
+
+/// Adds `scale * add` into `acc` elementwise over the persistent pool.
+fn axpy_into(acc: &mut [f64], add: &[f64], scale: f64) {
+    acc.par_chunks_mut(MERGE_CHUNK)
+        .zip(add.par_chunks(MERGE_CHUNK))
+        .for_each(|(a, b)| {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += scale * y;
+            }
+        });
+}
 
 /// Errors from the placement flow.
 #[derive(Debug)]
@@ -404,6 +421,24 @@ pub fn run_flow_observed(
     config: &FlowConfig,
     obs: &mut Observer,
 ) -> Result<FlowResult, FlowError> {
+    if config.threads > 0 {
+        // Dedicated pool of the requested width for the whole flow —
+        // every parallel kernel below dispatches through it. The workers
+        // persist for the run and are torn down when the pool drops.
+        let pool = rayon::Pool::new(config.threads);
+        rayon::with_pool(&pool, || run_flow_inner(design, lib, mode, config, obs))
+    } else {
+        run_flow_inner(design, lib, mode, config, obs)
+    }
+}
+
+fn run_flow_inner(
+    design: &Design,
+    lib: &Library,
+    mode: FlowMode,
+    config: &FlowConfig,
+    obs: &mut Observer,
+) -> Result<FlowResult, FlowError> {
     let t_start = Instant::now();
     // `timing_runtime` is reported as the STA-span delta across this run,
     // so a reused observer does not double-count an earlier run's time.
@@ -650,10 +685,8 @@ pub fn run_flow_observed(
                 .sum();
             lambda = if d_norm > 0.0 { 0.1 * wl_norm / d_norm } else { 1.0 };
         }
-        for i in 0..nl_cells {
-            gx[i] += lambda * dres.grad_x[i];
-            gy[i] += lambda * dres.grad_y[i];
-        }
+        axpy_into(&mut gx, &dres.grad_x, lambda);
+        axpy_into(&mut gy, &dres.grad_y, lambda);
         obs.stop(Phase::DensityGrad, sp);
 
         // Congestion penalty gradient, normalized like the timing
@@ -677,10 +710,8 @@ pub fn run_flow_observed(
                 .fold(0.0f64, |m, &g| m.max(g.abs()));
             if p_norm > 0.0 {
                 let scale = config.route_weight * base_norm / p_norm;
-                for i in 0..nl_cells {
-                    gx[i] += scale * rs.pgx[i];
-                    gy[i] += scale * rs.pgy[i];
-                }
+                axpy_into(&mut gx, &rs.pgx, scale);
+                axpy_into(&mut gy, &rs.pgy, scale);
             }
             obs.stop(Phase::CongestionGrad, sp);
         }
@@ -786,10 +817,8 @@ pub fn run_flow_observed(
                 } else {
                     1.0
                 };
-                for i in 0..nl_cells {
-                    gx[i] += scale * grads.cell_grad_x[i];
-                    gy[i] += scale * grads.cell_grad_y[i];
-                }
+                axpy_into(&mut gx, &grads.cell_grad_x, scale);
+                axpy_into(&mut gy, &grads.cell_grad_y, scale);
                 t1 *= dcfg.growth;
                 t2 *= dcfg.growth;
             }
@@ -873,8 +902,16 @@ pub fn run_flow_observed(
         // Preconditioned Nesterov step (persistent buffer, no per-iteration
         // allocation).
         let sp = obs.start(Phase::NesterovStep);
-        precond.clear();
-        precond.extend((0..nl_cells).map(|i| (pin_count[i] + lambda * areas[i]).max(1.0)));
+        precond.resize(nl_cells, 0.0);
+        precond
+            .par_chunks_mut(MERGE_CHUNK)
+            .zip(pin_count.par_chunks(MERGE_CHUNK))
+            .zip(areas.par_chunks(MERGE_CHUNK))
+            .for_each(|((pr, pc), ar)| {
+                for ((p, &c), &a) in pr.iter_mut().zip(pc).zip(ar) {
+                    *p = (c + lambda * a).max(1.0);
+                }
+            });
         opt.step(&gx, &gy, &precond);
         lambda *= config.lambda_growth;
         obs.stop(Phase::NesterovStep, sp);

@@ -1,0 +1,56 @@
+//! Thread-scaling goldens: `FlowConfig::threads` must never change the
+//! placement trajectory, and the `scale_design` preset must complete a
+//! capped flow end to end.
+
+use dtp_core::{run_flow, FlowConfig, FlowMode};
+use dtp_liberty::synth::synthetic_pdk;
+use dtp_netlist::generate::{generate, scale_design, GeneratorConfig};
+use dtp_place::check_legal;
+
+/// The full flow — gradients, Nesterov, legalization, detailed placement —
+/// is bit-for-bit identical for every `threads` value: 1 (serial schedule),
+/// the ambient pool (0), and wider dedicated pools.
+#[test]
+fn flow_is_bit_identical_across_thread_counts() {
+    let d = generate(&GeneratorConfig::named("threads_golden", 600)).expect("generator");
+    let lib = synthetic_pdk();
+    let mut cfg = FlowConfig {
+        max_iters: 120,
+        trace_timing_every: 20,
+        ..FlowConfig::default()
+    };
+    cfg.threads = 1;
+    let base = run_flow(&d, &lib, FlowMode::differentiable(), &cfg).expect("flow runs");
+    for threads in [0usize, 2, 4] {
+        cfg.threads = threads;
+        let r = run_flow(&d, &lib, FlowMode::differentiable(), &cfg).expect("flow runs");
+        assert_eq!(base.xs, r.xs, "x positions differ at threads={threads}");
+        assert_eq!(base.ys, r.ys, "y positions differ at threads={threads}");
+        assert_eq!(base.hpwl, r.hpwl, "hpwl differs at threads={threads}");
+        assert_eq!(base.wns, r.wns, "wns differs at threads={threads}");
+        assert_eq!(base.tns, r.tns, "tns differs at threads={threads}");
+        assert_eq!(base.iterations, r.iterations);
+    }
+}
+
+/// A scale-preset design completes a capped flow and legalizes. Debug builds
+/// run a CI-sized instance; release builds run the full 100k-cell smoke the
+/// scale bench starts from.
+#[test]
+fn scale_design_flow_smoke() {
+    let (cells, iters) = if cfg!(debug_assertions) { (20_000, 12) } else { (100_000, 30) };
+    let d = scale_design(cells, 1).expect("generator");
+    let lib = synthetic_pdk();
+    let cfg = FlowConfig {
+        max_iters: iters,
+        trace_timing_every: 0,
+        bins: 128,
+        threads: 2,
+        ..FlowConfig::default()
+    };
+    let r = run_flow(&d, &lib, FlowMode::Wirelength, &cfg).expect("flow runs");
+    assert_eq!(r.iterations, iters, "capped flow must use its full budget");
+    assert!(r.hpwl > 0.0 && r.hpwl.is_finite());
+    let violations = check_legal(&d, &r.xs, &r.ys);
+    assert!(violations.is_empty(), "violations: {:?}", &violations[..violations.len().min(5)]);
+}

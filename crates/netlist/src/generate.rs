@@ -471,6 +471,27 @@ pub fn superblue_proxies(scale: f64) -> Result<Vec<Design>, NetlistError> {
         .collect()
 }
 
+/// Generates a flat synthetic design sized for thread-scaling studies.
+///
+/// This is the preset behind `bench_scale`: a shallow (depth 8), moderately
+/// connected netlist whose generation cost stays roughly linear in
+/// `num_cells`, so 100k/500k/1M-cell instances build in seconds. The same
+/// `(num_cells, seed)` pair always produces an identical design, byte for
+/// byte, regardless of the active thread pool (the generator is serial).
+///
+/// # Errors
+///
+/// Propagates generator errors (none occur for positive cell counts).
+pub fn scale_design(num_cells: usize, seed: u64) -> Result<Design, NetlistError> {
+    let mut cfg = GeneratorConfig::named(format!("scale{num_cells}"), num_cells);
+    // Shallow pipelines keep the register graph wide; scaling studies care
+    // about per-iteration throughput, not path-depth realism.
+    cfg.depth = 8;
+    cfg.utilization = 0.65;
+    cfg.seed = 0x5CA1_E000 ^ seed;
+    generate(&cfg)
+}
+
 fn hash_name(name: &str) -> u64 {
     // FNV-1a, deterministic across runs (unlike `DefaultHasher`).
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -508,6 +529,41 @@ mod tests {
         let (ax, _) = a.netlist.positions();
         let (bx, _) = b.netlist.positions();
         assert_eq!(ax, bx);
+    }
+
+    #[test]
+    fn scale_design_deterministic_for_same_seed() {
+        // CI-sized in debug (`cargo test`), full 100k in release.
+        let n = if cfg!(debug_assertions) { 20_000 } else { 100_000 };
+        let a = scale_design(n, 7).unwrap();
+        let b = scale_design(n, 7).unwrap();
+        assert_eq!(a.netlist.num_cells(), b.netlist.num_cells());
+        assert_eq!(a.netlist.num_nets(), b.netlist.num_nets());
+        assert_eq!(a.netlist.num_pins(), b.netlist.num_pins());
+        let (ax, ay) = a.netlist.positions();
+        let (bx, by) = b.netlist.positions();
+        assert_eq!(ax, bx);
+        assert_eq!(ay, by);
+        let c = scale_design(n, 8).unwrap();
+        let (cx, _) = c.netlist.positions();
+        assert_ne!(ax, cx);
+    }
+
+    #[test]
+    fn scale_design_stable_across_pool_widths() {
+        // The generator is serial, but the preset is consumed by a
+        // thread-scaling bench — pin down that the active pool cannot leak
+        // into the output.
+        let base = scale_design(5_000, 3).unwrap();
+        let (bx, by) = base.netlist.positions();
+        for threads in [2usize, 4, 8] {
+            let d = rayon::with_pool(&rayon::Pool::new(threads), || scale_design(5_000, 3))
+                .unwrap();
+            let (dx, dy) = d.netlist.positions();
+            assert_eq!(bx, dx, "x positions differ under {threads} threads");
+            assert_eq!(by, dy, "y positions differ under {threads} threads");
+            assert_eq!(base.netlist.num_pins(), d.netlist.num_pins());
+        }
     }
 
     #[test]

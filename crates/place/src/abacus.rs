@@ -7,8 +7,19 @@
 //! Abacus displace noticeably less than the greedy Tetris frontier for
 //! dense rows. Each cell trials a window of rows around its target y and
 //! commits to the cheapest.
+//!
+//! At scale the row loop runs *band-parallel*: rows are split into
+//! independent bands of [`AbacusLegalizer::with_band_rows`] rows each, cells
+//! are partitioned to bands by target row, and every band runs the classic
+//! insertion concurrently with its search window capped at the band edges.
+//! Cells no band row accepts are deferred to a serial full-row
+//! reconciliation pass, which preserves the never-fails guarantee. The band
+//! count derives from the row count alone, so results are bit-for-bit
+//! identical across thread counts; designs under 64 rows use a single band,
+//! which is exactly the classic serial algorithm.
 
 use dtp_netlist::{CellId, Design};
+use rayon::prelude::*;
 
 /// One cluster in a row: cells `cells[first..last]` packed abutting,
 /// starting at `x`.
@@ -66,30 +77,30 @@ impl RowState {
     }
 
     /// Cost of placing `width`/`target` into this row *without* committing:
-    /// simulates the merge on a lightweight copy of the cluster stack.
+    /// simulates the merge cascade by walking the cluster stack backwards.
+    /// Allocation-free — the popped clusters are never revisited, so locals
+    /// replace the old per-trial stack copy (bit-identical arithmetic).
     fn trial_cost(&self, width: f64, target: f64, x_min: f64, x_max: f64) -> f64 {
         // Hard capacity guard: merging can push earlier cells out of the row
         // even when the new cell itself fits, so never exceed the row width.
         if self.used + width > (x_max - x_min) + 1e-9 {
             return f64::INFINITY;
         }
-        let mut stack: Vec<(f64, f64, f64, f64)> = self
-            .clusters
-            .iter()
-            .map(|c| (c.e, c.q, c.w, c.x))
-            .collect();
-        let mut c = (1.0f64, target, width, 0.0f64);
-        c.3 = (c.1 / c.0).clamp(x_min, (x_max - c.2).max(x_min));
-        while let Some(&(pe, pq, pw, px)) = stack.last() {
-            if px + pw <= c.3 + 1e-12 {
+        let mut e = 1.0f64;
+        let mut q = target;
+        let mut w = width;
+        let mut x = (q / e).clamp(x_min, (x_max - w).max(x_min));
+        for prev in self.clusters.iter().rev() {
+            if prev.x + prev.w <= x + 1e-12 {
                 break;
             }
-            stack.pop();
-            c = (pe + c.0, pq + c.1 - c.0 * pw, pw + c.2, 0.0);
-            c.3 = (c.1 / c.0).clamp(x_min, (x_max - c.2).max(x_min));
+            q = prev.q + q - e * prev.w;
+            e += prev.e;
+            w += prev.w;
+            x = (q / e).clamp(x_min, (x_max - w).max(x_min));
         }
         // The new cell sits at the end of the merged cluster.
-        let cell_x = c.3 + c.2 - width;
+        let cell_x = x + w - width;
         if cell_x + width > x_max + 1e-9 || cell_x < x_min - 1e-9 {
             return f64::INFINITY;
         }
@@ -123,6 +134,9 @@ pub struct AbacusLegalizer {
     site: f64,
     /// How many rows above/below the target row to trial.
     window: usize,
+    /// Rows per parallel band; 0 = auto (32 for designs with ≥ 64 rows,
+    /// otherwise a single band — the classic serial algorithm).
+    band_rows: usize,
 }
 
 impl AbacusLegalizer {
@@ -139,6 +153,26 @@ impl AbacusLegalizer {
             x_max: design.rows[0].x_max,
             site: design.rows[0].site_width,
             window: 6,
+            band_rows: 0,
+        }
+    }
+
+    /// Overrides the parallel band height (rows per band); 0 restores the
+    /// automatic policy. The result depends only on this value and the
+    /// design, never on the thread count.
+    #[must_use]
+    pub fn with_band_rows(mut self, band_rows: usize) -> AbacusLegalizer {
+        self.band_rows = band_rows;
+        self
+    }
+
+    fn effective_band_rows(&self) -> usize {
+        if self.band_rows > 0 {
+            self.band_rows
+        } else if self.row_y.len() >= 64 {
+            32
+        } else {
+            self.row_y.len()
         }
     }
 
@@ -150,47 +184,114 @@ impl AbacusLegalizer {
     pub fn legalize(&self, design: &Design, xs: &mut [f64], ys: &mut [f64]) -> (f64, f64) {
         let nl = &design.netlist;
         let row_h = design.row_height();
+        let n_rows = self.row_y.len();
         let mut order: Vec<CellId> = nl.movable_cells().collect();
         order.sort_by(|&a, &b| {
             xs[a.index()]
                 .partial_cmp(&xs[b.index()])
                 .expect("positions are finite")
         });
-        let mut rows: Vec<RowState> = vec![RowState::default(); self.row_y.len()];
-        for c in order {
-            let i = c.index();
-            // Site-quantized width: keeps the capacity guard and the final
-            // snapping consistent.
-            let w = (nl.class_of(c).width() / self.site).ceil() * self.site;
-            let (tx, ty) = (xs[i], ys[i]);
-            let target_row = (((ty - self.row_y[0]) / row_h).round() as i64)
-                .clamp(0, self.row_y.len() as i64 - 1) as usize;
-            let mut best: Option<(f64, usize)> = None;
-            // Expand the window until some row accepts the cell.
-            let mut window = self.window;
-            while best.is_none() {
-                let lo = target_row.saturating_sub(window);
-                let hi = (target_row + window + 1).min(self.row_y.len());
-                for (r, row) in rows.iter().enumerate().take(hi).skip(lo) {
-                    let dy = (self.row_y[r] - ty).abs();
-                    if let Some((bc, _)) = best {
-                        if dy >= bc {
-                            continue; // even zero x-cost cannot beat this row
+        let band_rows = self.effective_band_rows();
+        let bands = n_rows.div_ceil(band_rows);
+        let target_row = |ty: f64| {
+            (((ty - self.row_y[0]) / row_h).round() as i64).clamp(0, n_rows as i64 - 1)
+                as usize
+        };
+        // Partition cells to bands by target row, preserving the global x
+        // order within each band.
+        let mut band_members: Vec<Vec<CellId>> = vec![Vec::new(); bands];
+        for &c in &order {
+            band_members[target_row(ys[c.index()]) / band_rows].push(c);
+        }
+
+        // Band-parallel insertion: each band owns a disjoint row range and
+        // runs the classic algorithm with its window capped at band edges.
+        let mut rows: Vec<RowState> = vec![RowState::default(); n_rows];
+        let mut deferred: Vec<Vec<CellId>> = vec![Vec::new(); bands];
+        let (xs_r, ys_r) = (&*xs, &*ys);
+        rows.par_chunks_mut(band_rows)
+            .zip(deferred.par_chunks_mut(1))
+            .zip(band_members.par_chunks(1))
+            .enumerate()
+            .for_each(|(bi, ((band, defer), mems))| {
+                let defer = &mut defer[0];
+                let band_lo = bi * band_rows;
+                let band_hi = (band_lo + band_rows).min(n_rows);
+                for &c in &mems[0] {
+                    let i = c.index();
+                    // Site-quantized width: keeps the capacity guard and the
+                    // final snapping consistent.
+                    let w = (nl.class_of(c).width() / self.site).ceil() * self.site;
+                    let (tx, ty) = (xs_r[i], ys_r[i]);
+                    let tr = target_row(ty);
+                    let mut best: Option<(f64, usize)> = None;
+                    // Expand the window (within the band) until a row accepts.
+                    let mut window = self.window;
+                    loop {
+                        let lo = tr.saturating_sub(window).max(band_lo);
+                        let hi = (tr + window + 1).min(band_hi);
+                        for r in lo..hi {
+                            let dy = (self.row_y[r] - ty).abs();
+                            if let Some((bc, _)) = best {
+                                if dy >= bc {
+                                    continue; // zero x-cost cannot beat this
+                                }
+                            }
+                            let dx =
+                                band[r - band_lo].trial_cost(w, tx, self.x_min, self.x_max);
+                            let cost = dx + dy;
+                            if cost.is_finite() && best.is_none_or(|(bc, _)| cost < bc) {
+                                best = Some((cost, r));
+                            }
+                        }
+                        if best.is_some() || (lo == band_lo && hi == band_hi) {
+                            break;
+                        }
+                        window *= 2;
+                    }
+                    match best {
+                        Some((_, r)) => {
+                            band[r - band_lo].push(c, w, tx, self.x_min, self.x_max);
+                        }
+                        None => defer.push(c),
+                    }
+                }
+            });
+
+        // Serial reconciliation: cells whose whole band was full trial every
+        // row (deterministic band-then-x order, independent of threads).
+        for defer in &deferred {
+            for &c in defer {
+                let i = c.index();
+                let w = (nl.class_of(c).width() / self.site).ceil() * self.site;
+                let (tx, ty) = (xs[i], ys[i]);
+                let tr = target_row(ty);
+                let mut best: Option<(f64, usize)> = None;
+                let mut window = self.window;
+                while best.is_none() {
+                    let lo = tr.saturating_sub(window);
+                    let hi = (tr + window + 1).min(n_rows);
+                    for (r, row) in rows.iter().enumerate().take(hi).skip(lo) {
+                        let dy = (self.row_y[r] - ty).abs();
+                        if let Some((bc, _)) = best {
+                            if dy >= bc {
+                                continue;
+                            }
+                        }
+                        let dx = row.trial_cost(w, tx, self.x_min, self.x_max);
+                        let cost = dx + dy;
+                        if cost.is_finite() && best.is_none_or(|(bc, _)| cost < bc) {
+                            best = Some((cost, r));
                         }
                     }
-                    let dx = row.trial_cost(w, tx, self.x_min, self.x_max);
-                    let cost = dx + dy;
-                    if cost.is_finite() && best.is_none_or(|(bc, _)| cost < bc) {
-                        best = Some((cost, r));
+                    if lo == 0 && hi == n_rows {
+                        break;
                     }
+                    window *= 2;
                 }
-                if lo == 0 && hi == self.row_y.len() {
-                    break;
-                }
-                window *= 2;
+                let (_, row) = best.unwrap_or_else(|| panic!("no row accepts cell {c:?}"));
+                rows[row].push(c, w, tx, self.x_min, self.x_max);
             }
-            let (_, row) = best.unwrap_or_else(|| panic!("no row accepts cell {c:?}"));
-            rows[row].push(c, w, tx, self.x_min, self.x_max);
         }
 
         // Commit positions, snapping to sites left-to-right. A suffix-width

@@ -3,18 +3,45 @@
 //! λ schedule and the global-placement stop criterion.
 //!
 //! [`DensityModel::evaluate_into`] is the hot-path entry point: every
-//! intermediate (per-chunk bin accumulators, the density grid, the Poisson
+//! intermediate (the stamp-record buckets, the density grid, the Poisson
 //! scratch and solution, per-chunk energy partials) lives in a caller-owned
 //! [`DensityScratch`], so steady-state evaluations inside the Nesterov loop
 //! perform zero heap allocations — the same pattern as the STA engine's
-//! `AnalysisScratch`. Charge stamping and the field-gradient sweep run
-//! chunk-parallel on the persistent worker pool with a fixed partition, so
-//! results are deterministic for a given pool width; the per-chunk bin grids
-//! are tree-reduced in chunk order.
+//! `AnalysisScratch`.
+//!
+//! The charge stamp is cache-blocked for million-cell grids: a first pass
+//! (parallel over fixed [`CELL_CHUNK`] cell chunks) sorts each cell's stamp
+//! rectangle into per-(chunk × bin-column-block) buckets, and a second pass
+//! (parallel over column blocks) accumulates each block's records — walked
+//! in chunk order — into its own disjoint `BLOCK_COLS`-column slice of ρ.
+//! Each block's write window is a few dozen KB, so the sweep streams instead
+//! of thrashing, there is no per-thread full-grid image to reduce, and the
+//! accumulation order per bin is fixed regardless of the pool width — the
+//! whole evaluation is bit-for-bit identical across thread counts.
 
 use crate::spectral::{PoissonScratch, PoissonSolution, Spectral2D};
 use dtp_netlist::{Design, Rect};
+use rayon::chunks::chunk_count;
 use rayon::prelude::*;
+
+/// Cells per parallel work item. Fixed — not derived from the pool width —
+/// so bucket contents and chunk-ordered folds are width-invariant.
+const CELL_CHUNK: usize = 4096;
+
+/// Bin columns (x-indices) per cache block of the stamp accumulation; one
+/// block's ρ slice is `BLOCK_COLS · n` contiguous elements.
+const BLOCK_COLS: usize = 8;
+
+/// One cell's stamp, bucketed by (cell chunk × column block): the inflated
+/// footprint rectangle and its charge density.
+#[derive(Clone, Copy, Debug)]
+struct StampRec {
+    xl: f64,
+    yl: f64,
+    xh: f64,
+    yh: f64,
+    dens: f64,
+}
 
 /// The density model for one design.
 #[derive(Clone, Debug)]
@@ -65,9 +92,10 @@ pub struct DensityResult {
 /// on first use; steady-state evaluations allocate nothing.
 #[derive(Clone, Debug, Default)]
 pub struct DensityScratch {
-    /// Per-chunk bin accumulators (`chunks × (m·n)`, flattened) for the
-    /// parallel charge stamp.
-    acc: Vec<f64>,
+    /// Stamp-record buckets, `chunks × blocks` flattened as
+    /// `buckets[ci · blocks + b]`; inner vectors retain capacity across
+    /// evaluations, so steady-state stamping allocates nothing.
+    buckets: Vec<Vec<StampRec>>,
     /// Reduced density grid ρ.
     rho: Vec<f64>,
     /// Mean-removed, area-normalized density ρ̂.
@@ -236,19 +264,17 @@ impl DensityModel {
         assert!(xs.len() >= n_cells && ys.len() >= n_cells);
         let bins = self.m * self.n;
         let bin_area = self.bin_w * self.bin_h;
+        let chunks = chunk_count(n_cells, CELL_CHUNK).max(1);
+        let blocks = self.m.div_ceil(BLOCK_COLS);
 
-        // Fixed partition: one cell chunk per pool thread. Determinism
-        // follows from the chunk-ordered reductions below.
-        let threads = rayon::current_num_threads();
-        let cell_chunk = n_cells.div_ceil(threads).max(1);
-        let chunks = n_cells.div_ceil(cell_chunk).max(1);
-
-        // --- Parallel charge stamp: per-chunk bin accumulators ----------
-        ensure_len(&mut scratch.acc, chunks * bins);
-        scratch.acc.par_chunks_mut(bins).enumerate().for_each(|(ci, acc)| {
-            acc.fill(0.0);
-            let lo = ci * cell_chunk;
-            let hi = (lo + cell_chunk).min(n_cells);
+        // --- Stamp pass 1: bucket each cell's rectangle by column block --
+        scratch.buckets.resize_with(chunks * blocks, Vec::new);
+        scratch.buckets.par_chunks_mut(blocks).enumerate().for_each(|(ci, bks)| {
+            for b in bks.iter_mut() {
+                b.clear();
+            }
+            let lo = ci * CELL_CHUNK;
+            let hi = (lo + CELL_CHUNK).min(n_cells);
             for c in lo..hi {
                 let q = self.charge[c];
                 if q == 0.0 {
@@ -258,23 +284,32 @@ impl DensityModel {
                 // Center the inflated footprint on the true cell center.
                 let cx = xs[c] + 0.5 * self.w_true[c];
                 let cy = ys[c] + 0.5 * self.h_true[c];
-                let rect = Rect::new(cx - 0.5 * w, cy - 0.5 * h, cx + 0.5 * w, cy + 0.5 * h);
-                self.stamp(acc, &rect, q / (w * h));
+                let rec = StampRec {
+                    xl: cx - 0.5 * w,
+                    yl: cy - 0.5 * h,
+                    xh: cx + 0.5 * w,
+                    yh: cy + 0.5 * h,
+                    dens: q / (w * h),
+                };
+                let (i0, i1) = self.col_range(rec.xl, rec.xh);
+                let hi = i1.div_ceil(BLOCK_COLS).min(blocks);
+                for bk in bks.iter_mut().take(hi).skip(i0 / BLOCK_COLS) {
+                    bk.push(rec);
+                }
             }
         });
 
-        // --- Tree reduction in chunk order ------------------------------
+        // --- Stamp pass 2: accumulate each block's records into its own
+        // disjoint ρ columns, walking buckets in chunk order so the per-bin
+        // addition order is independent of the pool width.
         ensure_len(&mut scratch.rho, bins);
-        let acc = &scratch.acc;
-        let bin_chunk = bins.div_ceil(threads).max(1);
-        scratch.rho.par_chunks_mut(bin_chunk).enumerate().for_each(|(bi, rho)| {
-            let base = bi * bin_chunk;
-            for (k, r) in rho.iter_mut().enumerate() {
-                let mut s = 0.0;
-                for ci in 0..chunks {
-                    s += acc[ci * bins + base + k];
+        let buckets = &scratch.buckets;
+        scratch.rho.par_chunks_mut(BLOCK_COLS * self.n).enumerate().for_each(|(b, rho)| {
+            rho.fill(0.0);
+            for ci in 0..chunks {
+                for rec in &buckets[ci * blocks + b] {
+                    self.stamp_block(rho, b, rec);
                 }
-                *r = s;
             }
         });
 
@@ -291,9 +326,11 @@ impl DensityModel {
         overflow /= self.movable_area.max(1e-12);
         let mean = total / bins as f64;
 
-        // Poisson solve on mean-removed density (per unit area).
+        // Poisson solve on mean-removed density (per unit area); elementwise,
+        // so the thread-count-derived chunking cannot change the result.
         ensure_len(&mut scratch.rho_hat, bins);
         let rho = &scratch.rho;
+        let bin_chunk = bins.div_ceil(rayon::current_num_threads()).max(1);
         scratch.rho_hat.par_chunks_mut(bin_chunk).enumerate().for_each(|(bi, hat)| {
             let base = bi * bin_chunk;
             for (k, h) in hat.iter_mut().enumerate() {
@@ -303,17 +340,19 @@ impl DensityModel {
         self.spectral.solve_into(&scratch.rho_hat, &mut scratch.poisson, &mut scratch.sol);
 
         // --- Energy and per-cell field (bilinear at cell centers) --------
+        // Fixed CELL_CHUNK chunks with a chunk-ordered fold of the energy
+        // partials keep the energy width-invariant too.
         ensure_len(&mut out.grad_x, n_cells);
         ensure_len(&mut out.grad_y, n_cells);
         ensure_len(&mut scratch.energy, chunks);
         let sol = &scratch.sol;
         out.grad_x
-            .par_chunks_mut(cell_chunk)
-            .zip(out.grad_y.par_chunks_mut(cell_chunk))
+            .par_chunks_mut(CELL_CHUNK)
+            .zip(out.grad_y.par_chunks_mut(CELL_CHUNK))
             .zip(scratch.energy.par_chunks_mut(1))
             .enumerate()
             .for_each(|(ci, ((gx, gy), e))| {
-                let lo = ci * cell_chunk;
+                let lo = ci * CELL_CHUNK;
                 let mut acc_e = 0.0;
                 for (k, (gxc, gyc)) in gx.iter_mut().zip(gy.iter_mut()).enumerate() {
                     let c = lo + k;
@@ -338,23 +377,33 @@ impl DensityModel {
         out.max_density = max_density;
     }
 
-    /// Adds `scale · overlap(rect, bin)` to each bin.
-    fn stamp(&self, rho: &mut [f64], rect: &Rect, scale: f64) {
-        let i0 = (((rect.xl - self.region.xl) / self.bin_w).floor().max(0.0)) as usize;
-        let j0 = (((rect.yl - self.region.yl) / self.bin_h).floor().max(0.0)) as usize;
-        let i1 = ((((rect.xh - self.region.xl) / self.bin_w).ceil()) as usize).min(self.m);
-        let j1 = ((((rect.yh - self.region.yl) / self.bin_h).ceil()) as usize).min(self.n);
+    /// Bin-column range `[i0, i1)` covered by an x interval.
+    fn col_range(&self, xl: f64, xh: f64) -> (usize, usize) {
+        let i0 = (((xl - self.region.xl) / self.bin_w).floor().max(0.0)) as usize;
+        let i1 = ((((xh - self.region.xl) / self.bin_w).ceil()) as usize).min(self.m);
+        (i0.min(self.m), i1)
+    }
+
+    /// Adds `rec.dens · overlap(rec, bin)` to every bin of column block `b`
+    /// the record covers; `rho` is the block's local `BLOCK_COLS · n` slice.
+    fn stamp_block(&self, rho: &mut [f64], b: usize, rec: &StampRec) {
+        let col0 = b * BLOCK_COLS;
+        let (i0, i1) = self.col_range(rec.xl, rec.xh);
+        let i0 = i0.max(col0);
+        let i1 = i1.min((col0 + BLOCK_COLS).min(self.m));
+        let j0 = (((rec.yl - self.region.yl) / self.bin_h).floor().max(0.0)) as usize;
+        let j1 = ((((rec.yh - self.region.yl) / self.bin_h).ceil()) as usize).min(self.n);
         for i in i0..i1 {
             let bx0 = self.region.xl + i as f64 * self.bin_w;
-            let ox = (rect.xh.min(bx0 + self.bin_w) - rect.xl.max(bx0)).max(0.0);
+            let ox = (rec.xh.min(bx0 + self.bin_w) - rec.xl.max(bx0)).max(0.0);
             if ox == 0.0 {
                 continue;
             }
             for j in j0..j1 {
                 let by0 = self.region.yl + j as f64 * self.bin_h;
-                let oy = (rect.yh.min(by0 + self.bin_h) - rect.yl.max(by0)).max(0.0);
+                let oy = (rec.yh.min(by0 + self.bin_h) - rec.yl.max(by0)).max(0.0);
                 if oy > 0.0 {
-                    rho[i * self.n + j] += scale * ox * oy;
+                    rho[(i - col0) * self.n + j] += rec.dens * ox * oy;
                 }
             }
         }

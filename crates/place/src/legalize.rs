@@ -1,7 +1,17 @@
 //! Tetris-style legalization: snap the global-placement result onto rows and
 //! sites with no overlaps, minimizing displacement greedily.
+//!
+//! At scale the row-assignment phase runs *band-parallel*: rows are split
+//! into independent bands, cells are partitioned to bands by target row, and
+//! each band assigns its cells scanning only its own rows — turning the
+//! serial O(cells × rows) scan into concurrent O(cells × band_rows) work.
+//! Cells whose band is full are deferred to a serial all-rows pass. Band
+//! count derives from the row count alone, so results are bit-for-bit
+//! identical across thread counts; designs under 64 rows use a single band
+//! (the classic serial algorithm).
 
 use dtp_netlist::{CellId, Design};
+use rayon::prelude::*;
 
 /// Greedy row legalizer.
 ///
@@ -16,6 +26,8 @@ pub struct Legalizer {
     row_x_min: Vec<f64>,
     row_x_max: Vec<f64>,
     site: f64,
+    /// Rows per parallel band; 0 = auto (32 for ≥ 64 rows, else one band).
+    band_rows: usize,
 }
 
 impl Legalizer {
@@ -31,6 +43,26 @@ impl Legalizer {
             row_x_min: design.rows.iter().map(|r| r.x_min).collect(),
             row_x_max: design.rows.iter().map(|r| r.x_max).collect(),
             site: design.rows[0].site_width,
+            band_rows: 0,
+        }
+    }
+
+    /// Overrides the parallel band height (rows per band); 0 restores the
+    /// automatic policy. The result depends only on this value and the
+    /// design, never on the thread count.
+    #[must_use]
+    pub fn with_band_rows(mut self, band_rows: usize) -> Legalizer {
+        self.band_rows = band_rows;
+        self
+    }
+
+    fn effective_band_rows(&self) -> usize {
+        if self.band_rows > 0 {
+            self.band_rows
+        } else if self.row_y.len() >= 64 {
+            32
+        } else {
+            self.row_y.len()
         }
     }
 
@@ -54,34 +86,86 @@ impl Legalizer {
                 .partial_cmp(&xs[b.index()])
                 .expect("positions are finite")
         });
-        // Phase 1: row assignment under site-quantized width budgets.
+        // Phase 1: row assignment under site-quantized width budgets,
+        // band-parallel — each band scans only its own rows; cells whose
+        // band is full fall through to the serial all-rows pass below.
         let n_rows = self.row_y.len();
+        let row_h = design.row_height();
         let site_width = |w: f64| (w / self.site).ceil() * self.site;
+        let band_rows = self.effective_band_rows();
+        let bands = n_rows.div_ceil(band_rows);
+        let mut band_cells: Vec<Vec<CellId>> = vec![Vec::new(); bands];
+        for &c in &order {
+            let tr = (((ys[c.index()] - self.row_y[0]) / row_h).round() as i64)
+                .clamp(0, n_rows as i64 - 1) as usize;
+            band_cells[tr / band_rows].push(c);
+        }
         let mut remaining: Vec<f64> = (0..n_rows)
             .map(|r| self.row_x_max[r] - self.row_x_min[r])
             .collect();
         let mut members: Vec<Vec<CellId>> = vec![Vec::new(); n_rows];
-        for &c in &order {
-            let i = c.index();
-            let w = site_width(nl.class_of(c).width());
-            let ty = ys[i];
-            let mut best: Option<(f64, usize)> = None;
-            for (r, &rem) in remaining.iter().enumerate() {
-                if rem < w - 1e-9 {
-                    continue;
+        let mut deferred: Vec<Vec<CellId>> = vec![Vec::new(); bands];
+        let ys_r = &*ys;
+        remaining
+            .par_chunks_mut(band_rows)
+            .zip(members.par_chunks_mut(band_rows))
+            .zip(band_cells.par_chunks(1))
+            .zip(deferred.par_chunks_mut(1))
+            .enumerate()
+            .for_each(|(bi, (((rem, mem), bc), defer))| {
+                let defer = &mut defer[0];
+                let band_lo = bi * band_rows;
+                for &c in &bc[0] {
+                    let w = site_width(nl.class_of(c).width());
+                    let ty = ys_r[c.index()];
+                    let mut best: Option<(f64, usize)> = None;
+                    for (k, &r_rem) in rem.iter().enumerate() {
+                        if r_rem < w - 1e-9 {
+                            continue;
+                        }
+                        let r = band_lo + k;
+                        // Penalize nearly-full rows slightly so load stays
+                        // balanced.
+                        let cap0 = self.row_x_max[r] - self.row_x_min[r];
+                        let fullness = 1.0 - r_rem / cap0;
+                        let cost =
+                            (self.row_y[r] - ty).abs() + 2.0 * fullness * fullness;
+                        if best.is_none_or(|(bc, _)| cost < bc) {
+                            best = Some((cost, k));
+                        }
+                    }
+                    match best {
+                        Some((_, k)) => {
+                            rem[k] -= w;
+                            mem[k].push(c);
+                        }
+                        None => defer.push(c),
+                    }
                 }
-                // Penalize nearly-full rows slightly so load stays balanced.
-                let cap0 = self.row_x_max[r] - self.row_x_min[r];
-                let fullness = 1.0 - rem / cap0;
-                let cost = (self.row_y[r] - ty).abs() + 2.0 * fullness * fullness;
-                if best.is_none_or(|(bc, _)| cost < bc) {
-                    best = Some((cost, r));
+            });
+        // Serial reconciliation over all rows for deferred cells
+        // (deterministic band-then-x order, independent of threads).
+        for defer in &deferred {
+            for &c in defer {
+                let w = site_width(nl.class_of(c).width());
+                let ty = ys[c.index()];
+                let mut best: Option<(f64, usize)> = None;
+                for (r, &rem) in remaining.iter().enumerate() {
+                    if rem < w - 1e-9 {
+                        continue;
+                    }
+                    let cap0 = self.row_x_max[r] - self.row_x_min[r];
+                    let fullness = 1.0 - rem / cap0;
+                    let cost = (self.row_y[r] - ty).abs() + 2.0 * fullness * fullness;
+                    if best.is_none_or(|(bc, _)| cost < bc) {
+                        best = Some((cost, r));
+                    }
                 }
+                let (_, row) =
+                    best.unwrap_or_else(|| panic!("no row has capacity for cell {c:?}"));
+                remaining[row] -= w;
+                members[row].push(c);
             }
-            let (_, row) =
-                best.unwrap_or_else(|| panic!("no row has capacity for cell {c:?}"));
-            remaining[row] -= w;
-            members[row].push(c);
         }
         // Phase 2: pack each row with a suffix-aware frontier.
         let mut total = 0.0f64;

@@ -6,6 +6,13 @@
 //! alternative used by the ablation benches.
 
 use dtp_netlist::Design;
+use rayon::chunks::chunk_count;
+use rayon::prelude::*;
+
+/// Cells per parallel work item in the Nesterov sweeps. Fixed — not derived
+/// from the pool width — so the chunk-ordered reductions below are bitwise
+/// identical no matter how many threads execute them.
+const STEP_CHUNK: usize = 4096;
 
 /// Shared clamping data: keep lower-left positions inside the core.
 #[derive(Clone, Debug)]
@@ -61,6 +68,11 @@ pub struct NesterovOptimizer {
     /// into `prev_g_*` at the end of each step — no per-step allocation.
     gxp: Vec<f64>,
     gyp: Vec<f64>,
+    /// Per-chunk reduction partials (one slot per `STEP_CHUNK` cells),
+    /// folded serially in chunk order so the BB dot products and the
+    /// first-step ∞-norm are independent of the pool width.
+    bb_sy: Vec<f64>,
+    bb_yy: Vec<f64>,
     have_prev: bool,
     a: f64,
     bounds: Bounds,
@@ -86,6 +98,8 @@ impl NesterovOptimizer {
             prev_g_y: Vec::new(),
             gxp: Vec::new(),
             gyp: Vec::new(),
+            bb_sy: Vec::new(),
+            bb_yy: Vec::new(),
             have_prev: false,
             a: 1.0,
             bounds: Bounds::new(design),
@@ -109,7 +123,10 @@ impl NesterovOptimizer {
     /// size used.
     ///
     /// All intermediates live in persistent buffers owned by the optimizer,
-    /// so steady-state steps perform zero heap allocations.
+    /// so steady-state steps perform zero heap allocations. Every sweep and
+    /// reduction runs over the pool in fixed `STEP_CHUNK` chunks with
+    /// partials folded in chunk order, so the trajectory is bit-for-bit
+    /// identical across thread counts.
     ///
     /// # Panics
     ///
@@ -117,27 +134,74 @@ impl NesterovOptimizer {
     pub fn step(&mut self, gx: &[f64], gy: &[f64], precond: &[f64]) -> f64 {
         let n = self.u_x.len();
         assert!(gx.len() == n && gy.len() == n && precond.len() == n);
-        // Preconditioned gradient into the persistent buffers.
-        self.gxp.clear();
-        self.gxp.extend(gx.iter().zip(precond).map(|(&g, &p)| g / p.max(1e-12)));
-        self.gyp.clear();
-        self.gyp.extend(gy.iter().zip(precond).map(|(&g, &p)| g / p.max(1e-12)));
+        let chunks = chunk_count(n, STEP_CHUNK);
+        // The persistent buffers are fully overwritten, so a plain resize
+        // (no-op in steady state) is enough.
+        if self.gxp.len() != n {
+            self.gxp.resize(n, 0.0);
+            self.gyp.resize(n, 0.0);
+        }
+        if self.bb_sy.len() != chunks {
+            self.bb_sy.resize(chunks, 0.0);
+            self.bb_yy.resize(chunks, 0.0);
+        }
+
+        // Preconditioned gradient into the persistent buffers (elementwise,
+        // so chunking cannot change the result).
+        self.gxp
+            .par_chunks_mut(STEP_CHUNK)
+            .zip(self.gyp.par_chunks_mut(STEP_CHUNK))
+            .zip(gx.par_chunks(STEP_CHUNK))
+            .zip(gy.par_chunks(STEP_CHUNK))
+            .zip(precond.par_chunks(STEP_CHUNK))
+            .for_each(|((((xo, yo), gxc), gyc), pc)| {
+                for k in 0..xo.len() {
+                    let p = pc[k].max(1e-12);
+                    xo[k] = gxc[k] / p;
+                    yo[k] = gyc[k] / p;
+                }
+            });
 
         // Barzilai–Borwein step: |Δv·Δg| / |Δg·Δg| on the preconditioned
-        // sequence; falls back to a norm-scaled initial step.
+        // sequence; falls back to a norm-scaled initial step. Each chunk
+        // writes one partial slot (4096 cells of work per dispatch), and the
+        // fold over partials is serial and chunk-ordered.
         let alpha = if self.have_prev {
+            {
+                let (v_x, v_y) = (&self.v_x, &self.v_y);
+                let (prev_v_x, prev_v_y) = (&self.prev_v_x, &self.prev_v_y);
+                let (gxp, gyp) = (&self.gxp, &self.gyp);
+                let (prev_g_x, prev_g_y) = (&self.prev_g_x, &self.prev_g_y);
+                let movable = &self.bounds.movable;
+                self.bb_sy
+                    .par_chunks_mut(1)
+                    .zip(self.bb_yy.par_chunks_mut(1))
+                    .enumerate()
+                    .for_each(|(c, (sy_out, yy_out))| {
+                        let lo = c * STEP_CHUNK;
+                        let hi = (lo + STEP_CHUNK).min(n);
+                        let mut sy = 0.0;
+                        let mut yy = 0.0;
+                        for i in lo..hi {
+                            if !movable[i] {
+                                continue;
+                            }
+                            let sxv = v_x[i] - prev_v_x[i];
+                            let syv = v_y[i] - prev_v_y[i];
+                            let yxv = gxp[i] - prev_g_x[i];
+                            let yyv = gyp[i] - prev_g_y[i];
+                            sy += sxv * yxv + syv * yyv;
+                            yy += yxv * yxv + yyv * yyv;
+                        }
+                        sy_out[0] = sy;
+                        yy_out[0] = yy;
+                    });
+            }
             let mut sy = 0.0;
             let mut yy = 0.0;
-            for i in 0..n {
-                if !self.bounds.movable[i] {
-                    continue;
-                }
-                let sxv = self.v_x[i] - self.prev_v_x[i];
-                let syv = self.v_y[i] - self.prev_v_y[i];
-                let yxv = self.gxp[i] - self.prev_g_x[i];
-                let yyv = self.gyp[i] - self.prev_g_y[i];
-                sy += sxv * yxv + syv * yyv;
-                yy += yxv * yxv + yyv * yyv;
+            for c in 0..chunks {
+                sy += self.bb_sy[c];
+                yy += self.bb_yy[c];
             }
             if yy > 1e-24 {
                 (sy.abs() / yy).clamp(1e-9, 1e7)
@@ -145,11 +209,21 @@ impl NesterovOptimizer {
                 self.initial_step
             }
         } else {
-            let gmax = self
-                .gxp
-                .iter()
-                .chain(self.gyp.iter())
-                .fold(0.0f64, |m, &g| m.max(g.abs()));
+            // f64 max is exactly associative and commutative, but the fold
+            // stays chunk-ordered anyway for uniformity.
+            {
+                let (gxp, gyp) = (&self.gxp, &self.gyp);
+                self.bb_sy.par_chunks_mut(1).enumerate().for_each(|(c, out)| {
+                    let lo = c * STEP_CHUNK;
+                    let hi = (lo + STEP_CHUNK).min(n);
+                    let mut m = 0.0f64;
+                    for i in lo..hi {
+                        m = m.max(gxp[i].abs()).max(gyp[i].abs());
+                    }
+                    out[0] = m;
+                });
+            }
+            let gmax = self.bb_sy.iter().fold(0.0f64, |m, &v| m.max(v));
             if gmax > 0.0 {
                 self.initial_step / gmax
             } else {
@@ -161,23 +235,36 @@ impl NesterovOptimizer {
         let a_next = 0.5 * (1.0 + (4.0 * self.a * self.a + 1.0).sqrt());
         let coef = (self.a - 1.0) / a_next;
         // Save vₖ as the next BB reference, then update u and v in place
-        // (fixed cells keep their entries untouched).
+        // (fixed cells keep their entries untouched; the update is
+        // elementwise, so chunking cannot change it).
         copy_into(&mut self.prev_v_x, &self.v_x);
         copy_into(&mut self.prev_v_y, &self.v_y);
-        for i in 0..n {
-            if !self.bounds.movable[i] {
-                continue;
-            }
-            let (ux, uy) = self
-                .bounds
-                .clamp(i, self.v_x[i] - alpha * self.gxp[i], self.v_y[i] - alpha * self.gyp[i]);
-            let (vx, vy) = self
-                .bounds
-                .clamp(i, ux + coef * (ux - self.u_x[i]), uy + coef * (uy - self.u_y[i]));
-            self.u_x[i] = ux;
-            self.u_y[i] = uy;
-            self.v_x[i] = vx;
-            self.v_y[i] = vy;
+        {
+            let (gxp, gyp) = (&self.gxp, &self.gyp);
+            let bounds = &self.bounds;
+            self.u_x
+                .par_chunks_mut(STEP_CHUNK)
+                .zip(self.u_y.par_chunks_mut(STEP_CHUNK))
+                .zip(self.v_x.par_chunks_mut(STEP_CHUNK))
+                .zip(self.v_y.par_chunks_mut(STEP_CHUNK))
+                .enumerate()
+                .for_each(|(c, (((ux, uy), vx), vy))| {
+                    let base = c * STEP_CHUNK;
+                    for k in 0..ux.len() {
+                        let i = base + k;
+                        if !bounds.movable[i] {
+                            continue;
+                        }
+                        let (nux, nuy) =
+                            bounds.clamp(i, vx[k] - alpha * gxp[i], vy[k] - alpha * gyp[i]);
+                        let (nvx, nvy) = bounds
+                            .clamp(i, nux + coef * (nux - ux[k]), nuy + coef * (nuy - uy[k]));
+                        ux[k] = nux;
+                        uy[k] = nuy;
+                        vx[k] = nvx;
+                        vy[k] = nvy;
+                    }
+                });
         }
         std::mem::swap(&mut self.prev_g_x, &mut self.gxp);
         std::mem::swap(&mut self.prev_g_y, &mut self.gyp);

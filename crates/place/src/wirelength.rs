@@ -7,42 +7,65 @@
 //! nets as γ→0 and has bounded error. Per-net weights implement the
 //! net-weighting objective of Eq. (4).
 //!
-//! [`WirelengthModel::wa_gradient_into`] is the hot-path form: nets are
-//! partitioned into fixed per-thread chunks, each chunk scatters into its own
-//! gradient accumulator held in a caller-owned [`WirelengthScratch`], and the
-//! accumulators are reduced in chunk order — deterministic for a given pool
-//! width and allocation-free in steady state.
+//! [`WirelengthModel::wa_gradient_into`] is the hot-path form. It runs in
+//! two passes, both over fixed-size chunks so results are bit-for-bit
+//! identical across pool widths:
+//!
+//! 1. **Scatter (parallel over net chunks)** — each chunk of [`NET_CHUNK`]
+//!    nets writes per-pin gradients into its own disjoint range of a
+//!    pin-indexed scratch array (struct-of-arrays net CSR, streamed in
+//!    order).
+//! 2. **Gather (parallel over cell chunks)** — a static cell → pin-slot
+//!    transpose CSR lets each cell sum its pins' contributions in a fixed
+//!    order, writing the dense gradient directly.
+//!
+//! Unlike the previous per-thread full-gradient-image design, the scratch
+//! footprint is O(pins), not O(threads × cells), and no cross-thread
+//! reduction of dense images is needed — the layout streams at 1M cells.
 
-use dtp_netlist::{Netlist, Point};
+use dtp_netlist::Netlist;
+use rayon::chunks::chunk_count;
 use rayon::prelude::*;
 
-/// One pin of a flattened net: owning cell and offset from the cell origin.
-#[derive(Clone, Copy, Debug)]
-struct FlatPin {
-    cell: u32,
-    offset: Point,
-}
+/// Nets per parallel work item in the scatter pass. Fixed — not derived from
+/// the pool width — so per-chunk sums fold identically at any thread count.
+const NET_CHUNK: usize = 1024;
 
-/// Precomputed net → pin structure for fast wirelength evaluation.
+/// Cells per parallel work item in the gather pass.
+const CELL_CHUNK: usize = 4096;
+
+/// Precomputed net → pin structure for fast wirelength evaluation, in
+/// struct-of-arrays form plus a cell → pin-slot transpose.
 ///
 /// Clock nets are excluded (they are ideal in this flow and their huge fanout
 /// would dominate the wirelength objective meaninglessly).
 #[derive(Clone, Debug)]
 pub struct WirelengthModel {
-    /// CSR layout: pins of net `e` are `pins[net_start[e]..net_start[e+1]]`.
-    pins: Vec<FlatPin>,
+    /// Owning cell per pin slot; pins of net `e` occupy slots
+    /// `net_start[e]..net_start[e+1]` (CSR).
+    pin_cell: Vec<u32>,
+    /// Pin offset from the cell origin, x component, per slot.
+    pin_dx: Vec<f64>,
+    /// Pin offset from the cell origin, y component, per slot.
+    pin_dy: Vec<f64>,
     net_start: Vec<u32>,
     /// Map from model net index to original netlist net index.
     net_index: Vec<u32>,
+    /// Pin-slot offset of every `NET_CHUNK`-net boundary (`chunks + 1`
+    /// entries): the scatter pass hands chunk `ci` the exact pin range
+    /// `chunk_pin_start[ci]..chunk_pin_start[ci+1]` via `par_chunks_mut_at`.
+    chunk_pin_start: Vec<u32>,
+    /// Transpose CSR: pin slots of cell `c` (ascending) are
+    /// `cell_slots[cell_start[c]..cell_start[c+1]]`.
+    cell_start: Vec<u32>,
+    cell_slots: Vec<u32>,
     num_cells: usize,
 }
 
-/// Per-thread accumulators for the parallel WA gradient: a full gradient
-/// image per net chunk plus the per-net axis working buffers.
+/// Per-net-chunk working buffers: the chunk's weighted wirelength partial
+/// plus the per-net axis working arrays.
 #[derive(Clone, Debug, Default)]
-struct WlThreadState {
-    gx: Vec<f64>,
-    gy: Vec<f64>,
+struct WlAxisBufs {
     wl: f64,
     coords: Vec<f64>,
     ep: Vec<f64>,
@@ -54,7 +77,11 @@ struct WlThreadState {
 /// grow on first use; steady-state evaluations allocate nothing.
 #[derive(Clone, Debug, Default)]
 pub struct WirelengthScratch {
-    states: Vec<WlThreadState>,
+    /// Per-pin-slot gradient contributions (x / y), written disjointly by
+    /// the scatter pass and read by the gather pass.
+    pin_gx: Vec<f64>,
+    pin_gy: Vec<f64>,
+    axis: Vec<WlAxisBufs>,
 }
 
 impl WirelengthScratch {
@@ -73,7 +100,9 @@ fn ensure_len(v: &mut Vec<f64>, len: usize) {
 impl WirelengthModel {
     /// Builds the model from a netlist.
     pub fn new(nl: &Netlist) -> WirelengthModel {
-        let mut pins = Vec::new();
+        let mut pin_cell = Vec::new();
+        let mut pin_dx = Vec::new();
+        let mut pin_dy = Vec::new();
         let mut net_start = vec![0u32];
         let mut net_index = Vec::new();
         for net_id in nl.net_ids() {
@@ -83,15 +112,48 @@ impl WirelengthModel {
             }
             for &p in net.pins() {
                 let pin = nl.pin(p);
-                pins.push(FlatPin {
-                    cell: pin.cell().index() as u32,
-                    offset: nl.pin_spec(p).offset,
-                });
+                let offset = nl.pin_spec(p).offset;
+                pin_cell.push(pin.cell().index() as u32);
+                pin_dx.push(offset.x);
+                pin_dy.push(offset.y);
             }
-            net_start.push(pins.len() as u32);
+            net_start.push(pin_cell.len() as u32);
             net_index.push(net_id.index() as u32);
         }
-        WirelengthModel { pins, net_start, net_index, num_cells: nl.num_cells() }
+
+        let nets = net_index.len();
+        let chunks = chunk_count(nets, NET_CHUNK);
+        let chunk_pin_start: Vec<u32> =
+            (0..=chunks).map(|ci| net_start[(ci * NET_CHUNK).min(nets)]).collect();
+
+        // Cell → pin-slot transpose by counting sort; filling in slot order
+        // leaves each cell's slot list ascending (deterministic gather).
+        let num_cells = nl.num_cells();
+        let mut cell_start = vec![0u32; num_cells + 1];
+        for &c in &pin_cell {
+            cell_start[c as usize + 1] += 1;
+        }
+        for c in 0..num_cells {
+            cell_start[c + 1] += cell_start[c];
+        }
+        let mut cursor = cell_start.clone();
+        let mut cell_slots = vec![0u32; pin_cell.len()];
+        for (slot, &c) in pin_cell.iter().enumerate() {
+            cell_slots[cursor[c as usize] as usize] = slot as u32;
+            cursor[c as usize] += 1;
+        }
+
+        WirelengthModel {
+            pin_cell,
+            pin_dx,
+            pin_dy,
+            net_start,
+            net_index,
+            chunk_pin_start,
+            cell_start,
+            cell_slots,
+            num_cells,
+        }
     }
 
     /// Number of nets in the model.
@@ -104,31 +166,36 @@ impl WirelengthModel {
         self.net_index[e] as usize
     }
 
-    fn net_pins(&self, e: usize) -> &[FlatPin] {
-        &self.pins[self.net_start[e] as usize..self.net_start[e + 1] as usize]
-    }
-
     /// Exact half-perimeter wirelength at cell positions `(xs, ys)`
-    /// (lower-left corners), optionally weighted per model net.
+    /// (lower-left corners). Per-chunk partials are folded in chunk order,
+    /// so the value is independent of the pool width.
     pub fn hpwl(&self, xs: &[f64], ys: &[f64]) -> f64 {
-        (0..self.num_nets())
+        let nets = self.num_nets();
+        let partials: Vec<f64> = (0..chunk_count(nets, NET_CHUNK))
             .into_par_iter()
-            .map(|e| {
-                let mut xmin = f64::INFINITY;
-                let mut xmax = f64::NEG_INFINITY;
-                let mut ymin = f64::INFINITY;
-                let mut ymax = f64::NEG_INFINITY;
-                for p in self.net_pins(e) {
-                    let x = xs[p.cell as usize] + p.offset.x;
-                    let y = ys[p.cell as usize] + p.offset.y;
-                    xmin = xmin.min(x);
-                    xmax = xmax.max(x);
-                    ymin = ymin.min(y);
-                    ymax = ymax.max(y);
+            .map(|ci| {
+                let lo = ci * NET_CHUNK;
+                let hi = (lo + NET_CHUNK).min(nets);
+                let mut acc = 0.0;
+                for e in lo..hi {
+                    let mut xmin = f64::INFINITY;
+                    let mut xmax = f64::NEG_INFINITY;
+                    let mut ymin = f64::INFINITY;
+                    let mut ymax = f64::NEG_INFINITY;
+                    for s in self.net_start[e] as usize..self.net_start[e + 1] as usize {
+                        let x = xs[self.pin_cell[s] as usize] + self.pin_dx[s];
+                        let y = ys[self.pin_cell[s] as usize] + self.pin_dy[s];
+                        xmin = xmin.min(x);
+                        xmax = xmax.max(x);
+                        ymin = ymin.min(y);
+                        ymax = ymax.max(y);
+                    }
+                    acc += (xmax - xmin) + (ymax - ymin);
                 }
-                (xmax - xmin) + (ymax - ymin)
+                acc
             })
-            .sum()
+            .collect();
+        partials.iter().sum()
     }
 
     /// Weighted-average smooth wirelength and its gradient with respect to
@@ -188,62 +255,89 @@ impl WirelengthModel {
             assert_eq!(w.len(), self.num_nets(), "one weight per model net");
         }
         let nets = self.num_nets();
-        let n_cells = self.num_cells;
-        let threads = rayon::current_num_threads();
-        let net_chunk = nets.div_ceil(threads).max(1);
-        let chunks = nets.div_ceil(net_chunk).max(1);
-        scratch.states.resize_with(chunks, WlThreadState::default);
+        let n_pins = self.pin_cell.len();
+        let chunks = chunk_count(nets, NET_CHUNK);
+        // Every pin slot is overwritten by exactly one net, so a plain
+        // resize (no-op in steady state) is enough.
+        if scratch.pin_gx.len() != n_pins {
+            scratch.pin_gx.resize(n_pins, 0.0);
+            scratch.pin_gy.resize(n_pins, 0.0);
+        }
+        scratch.axis.resize_with(chunks, WlAxisBufs::default);
 
-        // Each chunk of nets scatters into its own full-size gradient image.
-        scratch.states.par_chunks_mut(1).enumerate().for_each(|(ci, st)| {
-            let st = &mut st[0];
-            ensure_len(&mut st.gx, n_cells);
-            ensure_len(&mut st.gy, n_cells);
-            st.wl = 0.0;
-            let lo = ci * net_chunk;
-            let hi = (lo + net_chunk).min(nets);
-            for e in lo..hi {
-                let w = weights.map_or(1.0, |w| w[e]);
-                let pins = self.net_pins(e);
-                for axis in 0..2 {
+        // Scatter: each net chunk writes its pins' gradients into its own
+        // disjoint pin-slot range (exact bounds via `par_chunks_mut_at`).
+        scratch
+            .pin_gx
+            .par_chunks_mut_at(&self.chunk_pin_start)
+            .zip(scratch.pin_gy.par_chunks_mut_at(&self.chunk_pin_start))
+            .zip(scratch.axis.par_chunks_mut(1))
+            .enumerate()
+            .for_each(|(ci, ((pgx, pgy), st))| {
+                let st = &mut st[0];
+                st.wl = 0.0;
+                let lo = ci * NET_CHUNK;
+                let hi = (lo + NET_CHUNK).min(nets);
+                let pin_base = self.chunk_pin_start[ci] as usize;
+                for e in lo..hi {
+                    let w = weights.map_or(1.0, |w| w[e]);
+                    let s = self.net_start[e] as usize;
+                    let t = self.net_start[e + 1] as usize;
+                    // x axis.
                     st.coords.clear();
-                    for p in pins {
-                        st.coords.push(if axis == 0 {
-                            xs[p.cell as usize] + p.offset.x
-                        } else {
-                            ys[p.cell as usize] + p.offset.y
-                        });
+                    for slot in s..t {
+                        st.coords
+                            .push(xs[self.pin_cell[slot] as usize] + self.pin_dx[slot]);
                     }
                     let wl =
                         wa_axis_into(&st.coords, gamma, &mut st.ep, &mut st.em, &mut st.grads);
                     st.wl += w * wl;
-                    let target = if axis == 0 { &mut st.gx } else { &mut st.gy };
-                    for (k, p) in pins.iter().enumerate() {
-                        target[p.cell as usize] += w * st.grads[k];
+                    for k in 0..t - s {
+                        pgx[s - pin_base + k] = w * st.grads[k];
+                    }
+                    // y axis.
+                    st.coords.clear();
+                    for slot in s..t {
+                        st.coords
+                            .push(ys[self.pin_cell[slot] as usize] + self.pin_dy[slot]);
+                    }
+                    let wl =
+                        wa_axis_into(&st.coords, gamma, &mut st.ep, &mut st.em, &mut st.grads);
+                    st.wl += w * wl;
+                    for k in 0..t - s {
+                        pgy[s - pin_base + k] = w * st.grads[k];
                     }
                 }
-            }
-        });
+            });
 
-        // Chunk-ordered reduction over cells.
+        // Gather: each cell sums its pin slots in ascending slot order via
+        // the static transpose — elementwise over cells, so chunking cannot
+        // change the result.
+        let n_cells = self.num_cells;
         ensure_len(grad_x, n_cells);
         ensure_len(grad_y, n_cells);
-        let states = &scratch.states;
-        let cell_chunk = n_cells.div_ceil(threads).max(1);
+        let (pin_gx, pin_gy) = (&scratch.pin_gx, &scratch.pin_gy);
         grad_x
-            .par_chunks_mut(cell_chunk)
-            .zip(grad_y.par_chunks_mut(cell_chunk))
+            .par_chunks_mut(CELL_CHUNK)
+            .zip(grad_y.par_chunks_mut(CELL_CHUNK))
             .enumerate()
             .for_each(|(bi, (gxc, gyc))| {
-                let base = bi * cell_chunk;
-                for (k, g) in gxc.iter_mut().enumerate() {
-                    *g = states.iter().map(|s| s.gx[base + k]).sum();
-                }
-                for (k, g) in gyc.iter_mut().enumerate() {
-                    *g = states.iter().map(|s| s.gy[base + k]).sum();
+                let base = bi * CELL_CHUNK;
+                for k in 0..gxc.len() {
+                    let c = base + k;
+                    let mut sx = 0.0;
+                    let mut sy = 0.0;
+                    for s in self.cell_start[c] as usize..self.cell_start[c + 1] as usize {
+                        let slot = self.cell_slots[s] as usize;
+                        sx += pin_gx[slot];
+                        sy += pin_gy[slot];
+                    }
+                    gxc[k] = sx;
+                    gyc[k] = sy;
                 }
             });
-        states.iter().map(|s| s.wl).sum()
+        // Chunk-ordered fold of the per-chunk wirelength partials.
+        scratch.axis.iter().map(|a| a.wl).sum()
     }
 }
 

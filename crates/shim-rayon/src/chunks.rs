@@ -80,6 +80,37 @@ impl<'a, T: Send> ChunkSource for ParChunksMut<'a, T> {
     }
 }
 
+/// Chunked exclusive view of a slice split at explicit boundaries
+/// (`par_chunks_mut_at`): chunk `i` is the sub-slice
+/// `[bounds[i], bounds[i+1])`, so chunk sizes may vary — the shape CSR
+/// layouts need to hand each net-chunk its exact pin range.
+pub struct ParChunksMutAt<'a, T> {
+    ptr: *mut T,
+    bounds: &'a [u32],
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: the raw pointer is only used to carve sub-slices at validated
+// monotone boundaries (disjoint by construction), one per chunk index, and
+// `for_each` dispatches each index exactly once.
+unsafe impl<T: Send> Sync for ParChunksMutAt<'_, T> {}
+unsafe impl<T: Send> Send for ParChunksMutAt<'_, T> {}
+
+impl<'a, T: Send> ChunkSource for ParChunksMutAt<'a, T> {
+    type Item = &'a mut [T];
+    fn count(&self) -> usize {
+        self.bounds.len() - 1
+    }
+    unsafe fn take(&self, i: usize) -> &'a mut [T] {
+        let start = self.bounds[i] as usize;
+        let end = self.bounds[i + 1] as usize;
+        // SAFETY: `par_chunks_mut_at` asserted the bounds are monotone and
+        // end at the slice length, so chunks are in-bounds and disjoint, and
+        // each index is taken at most once (caller contract).
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), end - start) }
+    }
+}
+
 /// Pairs every chunk with its index (`.enumerate()`).
 pub struct Enumerate<S>(S);
 
@@ -131,7 +162,7 @@ pub trait ParChunkExt: ChunkSource + Sized {
         let src = &self;
         // SAFETY: the pool claims each index with a fetch_add, so every
         // index reaches `take` at most once.
-        pool::global().run_dyn(n, &|i| f(unsafe { src.take(i) }));
+        pool::with_current(|p| p.run_dyn(n, &|i| f(unsafe { src.take(i) })));
     }
 }
 
@@ -150,17 +181,34 @@ impl<T: Sync> ParallelSlice<T> for [T] {
     }
 }
 
-/// `par_chunks_mut` on mutable slices (rayon's `ParallelSliceMut`).
+/// `par_chunks_mut` on mutable slices (rayon's `ParallelSliceMut`), plus the
+/// boundary-driven `par_chunks_mut_at` variant this shim adds.
 pub trait ParallelSliceMut<T: Send> {
     /// Splits into disjoint `size`-element mutable chunks processed in
     /// parallel.
     fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+
+    /// Splits at the explicit `bounds` (must start at 0, end at `len`, and
+    /// be non-decreasing) into disjoint variable-size mutable chunks; chunk
+    /// `i` is `[bounds[i], bounds[i+1])`. `bounds.len() - 1` chunks total,
+    /// which lets it `zip` with fixed-size sources of the same chunk count.
+    fn par_chunks_mut_at<'a>(&'a mut self, bounds: &'a [u32]) -> ParChunksMutAt<'a, T>;
 }
 
 impl<T: Send> ParallelSliceMut<T> for [T] {
     fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
         assert!(size > 0, "chunk size must be positive");
         ParChunksMut { ptr: self.as_mut_ptr(), len: self.len(), size, _marker: PhantomData }
+    }
+
+    fn par_chunks_mut_at<'a>(&'a mut self, bounds: &'a [u32]) -> ParChunksMutAt<'a, T> {
+        // The unsafe `take` relies on these invariants for disjointness, so
+        // they are hard asserts, not debug asserts (O(chunks), not O(len)).
+        assert!(!bounds.is_empty(), "bounds must contain at least one entry");
+        assert_eq!(bounds[0], 0, "bounds must start at 0");
+        assert_eq!(*bounds.last().unwrap() as usize, self.len(), "bounds must end at len");
+        assert!(bounds.windows(2).all(|w| w[0] <= w[1]), "bounds must be non-decreasing");
+        ParChunksMutAt { ptr: self.as_mut_ptr(), bounds, _marker: PhantomData }
     }
 }
 
@@ -205,5 +253,54 @@ mod tests {
     fn empty_slice_is_a_noop() {
         let mut data: Vec<u32> = Vec::new();
         data.par_chunks_mut(8).for_each(|_| panic!("no chunks expected"));
+    }
+
+    #[test]
+    fn par_chunks_mut_at_carves_variable_chunks() {
+        let mut data = vec![0u32; 10];
+        let bounds = [0u32, 3, 3, 7, 10];
+        data.par_chunks_mut_at(&bounds).enumerate().for_each(|(ci, chunk)| {
+            assert_eq!(chunk.len(), (bounds[ci + 1] - bounds[ci]) as usize);
+            for x in chunk {
+                *x = ci as u32 + 1;
+            }
+        });
+        assert_eq!(data, [1, 1, 1, 3, 3, 3, 3, 4, 4, 4]);
+    }
+
+    #[test]
+    fn par_chunks_mut_at_zips_with_fixed_chunks() {
+        // The shape the wirelength scatter uses: pin-range chunks zipped
+        // with fixed-size net chunks of the same chunk count.
+        let mut pins = vec![0u32; 12];
+        let mut nets = vec![0u32; 6];
+        let bounds = [0u32, 5, 8, 12];
+        pins.par_chunks_mut_at(&bounds)
+            .zip(nets.par_chunks_mut(2))
+            .enumerate()
+            .for_each(|(ci, (p, n))| {
+                for x in p {
+                    *x = ci as u32;
+                }
+                for x in n {
+                    *x = ci as u32;
+                }
+            });
+        assert_eq!(pins, [0, 0, 0, 0, 0, 1, 1, 1, 2, 2, 2, 2]);
+        assert_eq!(nets, [0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn par_chunks_mut_at_rejects_unsorted_bounds() {
+        let mut data = [0u8; 4];
+        let _ = data.par_chunks_mut_at(&[0, 3, 2, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "end at len")]
+    fn par_chunks_mut_at_rejects_short_bounds() {
+        let mut data = [0u8; 4];
+        let _ = data.par_chunks_mut_at(&[0, 3]);
     }
 }

@@ -24,6 +24,11 @@
 //! Work stealing is not implemented; indices are claimed dynamically from an
 //! atomic counter, which balances the near-uniform per-item costs of the
 //! placement and STA kernels within noise of rayon.
+//!
+//! [`with_pool`] installs a scoped per-thread pool override: every adapter
+//! invoked inside the closure dispatches to the given pool instead of the
+//! global one, which is how the flow's `threads` knob and the in-process
+//! thread-scaling sweeps work.
 
 #![deny(unsafe_code)]
 
@@ -31,7 +36,7 @@ pub mod chunks;
 pub mod pool;
 
 pub use chunks::{ParChunkExt, ParallelSlice, ParallelSliceMut};
-pub use pool::{current_num_threads, dispatch_count, Pool};
+pub use pool::{current_num_threads, dispatch_count, with_pool, Pool};
 
 use std::marker::PhantomData;
 use std::ops::Range;
@@ -69,9 +74,11 @@ where
     let inputs: Vec<Mutex<Option<Vec<T>>>> =
         split_chunks(items, threads).into_iter().map(|c| Mutex::new(Some(c))).collect();
     let outputs: Vec<Mutex<Vec<U>>> = (0..inputs.len()).map(|_| Mutex::new(Vec::new())).collect();
-    pool::global().run(inputs.len(), |i| {
-        let chunk = inputs[i].lock().unwrap().take().expect("chunk taken once");
-        *outputs[i].lock().unwrap() = f(chunk);
+    pool::with_current(|p| {
+        p.run(inputs.len(), |i| {
+            let chunk = inputs[i].lock().unwrap().take().expect("chunk taken once");
+            *outputs[i].lock().unwrap() = f(chunk);
+        });
     });
     let mut out = Vec::new();
     for slot in outputs {
@@ -201,11 +208,13 @@ impl ParRange {
             return;
         }
         let chunk = n.div_ceil(threads);
-        pool::global().run(chunks::chunk_count(n, chunk), |c| {
-            let lo = start + c * chunk;
-            for i in lo..(lo + chunk).min(start + n) {
-                f(i);
-            }
+        pool::with_current(|p| {
+            p.run(chunks::chunk_count(n, chunk), |c| {
+                let lo = start + c * chunk;
+                for i in lo..(lo + chunk).min(start + n) {
+                    f(i);
+                }
+            });
         });
     }
 }
@@ -247,16 +256,18 @@ mod range_fill {
         let base = SendPtr(out.as_mut_ptr());
         let base = &base;
         let chunk = n.div_ceil(threads);
-        pool::global().run(chunks::chunk_count(n, chunk), |c| {
-            let lo = c * chunk;
-            let hi = (lo + chunk).min(n);
-            for i in lo..hi {
-                // SAFETY: `i < n <= capacity`, and chunks are disjoint, so
-                // each slot is written exactly once. On panic the spare
-                // capacity stays unclaimed (len is still 0) — written
-                // elements leak, which is safe.
-                unsafe { base.0.add(i).write(f(start + i)) };
-            }
+        pool::with_current(|p| {
+            p.run(chunks::chunk_count(n, chunk), |c| {
+                let lo = c * chunk;
+                let hi = (lo + chunk).min(n);
+                for i in lo..hi {
+                    // SAFETY: `i < n <= capacity`, and chunks are disjoint,
+                    // so each slot is written exactly once. On panic the
+                    // spare capacity stays unclaimed (len is still 0) —
+                    // written elements leak, which is safe.
+                    unsafe { base.0.add(i).write(f(start + i)) };
+                }
+            });
         });
         // SAFETY: all `n` slots were initialized above (the pool completed).
         unsafe { out.set_len(n) };
@@ -302,10 +313,12 @@ where
         let chunk = n.div_ceil(threads);
         let parts: Vec<Mutex<Option<S>>> =
             (0..chunks::chunk_count(n, chunk)).map(|_| Mutex::new(None)).collect();
-        pool::global().run(parts.len(), |c| {
-            let lo = start + c * chunk;
-            let hi = (lo + chunk).min(start + n);
-            *parts[c].lock().unwrap() = Some((lo..hi).map(f).sum());
+        pool::with_current(|p| {
+            p.run(parts.len(), |c| {
+                let lo = start + c * chunk;
+                let hi = (lo + chunk).min(start + n);
+                *parts[c].lock().unwrap() = Some((lo..hi).map(f).sum());
+            });
         });
         parts.into_iter().map(|p| p.into_inner().unwrap().expect("chunk ran")).sum()
     }
@@ -438,6 +451,18 @@ mod tests {
         (0..20_000usize).into_par_iter().map(|i| i * 3).collect_into_vec(&mut buf);
         assert_eq!(buf.len(), 20_000);
         assert!(buf.iter().enumerate().all(|(i, &x)| x == i * 3));
+    }
+
+    #[test]
+    fn with_pool_scopes_adapter_width() {
+        let pool = crate::Pool::new(2);
+        crate::with_pool(&pool, || {
+            assert_eq!(crate::current_num_threads(), 2);
+            let v: Vec<usize> = (0..10_000).into_par_iter().map(|i| i + 1).collect();
+            assert!(v.iter().enumerate().all(|(i, &x)| x == i + 1));
+            let s: usize = (0..10_000).into_par_iter().map(|i| i).sum();
+            assert_eq!(s, 9999 * 10_000 / 2);
+        });
     }
 
     #[test]

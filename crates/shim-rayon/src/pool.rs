@@ -52,6 +52,48 @@ thread_local! {
     /// True on pool worker threads: parallel calls made from inside a job
     /// run inline instead of re-entering the (busy) pool.
     static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+
+    /// Innermost [`with_pool`] override for this thread; null when unset.
+    static OVERRIDE: Cell<*const Pool> = const { Cell::new(std::ptr::null()) };
+}
+
+/// Runs `f` with `pool` as the dispatch target for every parallel adapter
+/// invoked on this thread: `par_chunks_mut`, `into_par_iter`, and friends
+/// all route to `pool` instead of the [`global`] pool for the duration.
+///
+/// Overrides nest (the innermost wins) and are restored on exit, including
+/// when `f` panics. The override is per-thread: jobs running *on* the
+/// override pool's workers see no override, but nested parallel calls from
+/// those workers run inline anyway (the worker flag), so composition with
+/// the kernels' nested regions is unchanged.
+///
+/// This is what lets `bench_scale` sweep thread counts in-process and what
+/// `FlowConfig::threads` hangs off: width-invariant kernels produce
+/// bit-identical results under any override width.
+pub fn with_pool<R>(pool: &Pool, f: impl FnOnce() -> R) -> R {
+    struct Restore(*const Pool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let prev = OVERRIDE.with(|o| o.replace(pool));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Calls `f` with the pool this thread currently dispatches to: the
+/// innermost [`with_pool`] override, else the global pool.
+pub(crate) fn with_current<R>(f: impl FnOnce(&Pool) -> R) -> R {
+    let ptr = OVERRIDE.with(Cell::get);
+    if ptr.is_null() {
+        f(global())
+    } else {
+        // SAFETY: `with_pool` borrows the pool across the whole closure call
+        // and restores the previous override before that borrow ends, so a
+        // non-null pointer always refers to a live pool.
+        f(unsafe { &*ptr })
+    }
 }
 
 /// Type-erased pointer to the submitter's `&dyn Fn(usize)` (stack-borrowed;
@@ -291,10 +333,12 @@ fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
-/// Number of threads the global pool runs jobs on (rayon's
-/// `current_num_threads`). Deterministic for the life of the process.
+/// Number of threads the current pool runs jobs on (rayon's
+/// `current_num_threads`): the innermost [`with_pool`] override when one is
+/// installed on this thread, else the global pool — deterministic for the
+/// life of the process outside overrides.
 pub fn current_num_threads() -> usize {
-    global().num_threads()
+    with_current(Pool::num_threads)
 }
 
 #[cfg(test)]
@@ -369,6 +413,47 @@ mod tests {
             pool.run(64, |_| {});
         }
         assert!(dispatch_count() >= before + 100, "pooled regions not counted");
+    }
+
+    #[test]
+    fn with_pool_overrides_and_restores() {
+        let narrow = Pool::new(1);
+        let wide = Pool::new(4);
+        let outside = current_num_threads();
+        with_pool(&wide, || {
+            assert_eq!(current_num_threads(), 4);
+            // Nested overrides shadow, innermost wins.
+            with_pool(&narrow, || assert_eq!(current_num_threads(), 1));
+            assert_eq!(current_num_threads(), 4);
+        });
+        assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn with_pool_restores_after_panic() {
+        let pool = Pool::new(2);
+        let outside = current_num_threads();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            with_pool(&pool, || panic!("inside override"));
+        }));
+        assert!(result.is_err());
+        assert_eq!(current_num_threads(), outside, "override must unwind-restore");
+    }
+
+    #[test]
+    fn with_pool_routes_adapter_dispatch() {
+        // A region dispatched under an override must run on that pool, not
+        // the global one: observable via the worker-thread inline rule.
+        let pool = Pool::new(4);
+        let hits = AtomicU64::new(0);
+        with_pool(&pool, || {
+            with_current(|p| {
+                p.run(256, |_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 256);
     }
 
     #[test]
