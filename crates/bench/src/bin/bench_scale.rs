@@ -146,13 +146,12 @@ fn run_once(
 /// Allocation behaviour of the gradient + Nesterov loop at scale.
 ///
 /// Returns `(moving, pinned)`: heap allocations per iteration while the
-/// placement is still moving (scratch high-water marks — the density
-/// stamp's per-block buckets grow geometrically toward their peak as cells
-/// migrate between bins), and per iteration at a pinned operating point
-/// after warmup, where every per-iteration buffer has reached steady state.
-/// The zero-alloc contract is on the pinned number: no kernel allocates
-/// unless a position change grows a scratch high-water mark, and those
-/// growth events decay geometrically as the placement converges.
+/// placement is still moving, and per iteration at a pinned operating point
+/// after warmup. Scratch buffers are pre-sized to their worst case up front
+/// ([`DensityModel::presize_scratch`] — the same call the flow makes at
+/// start), so BOTH numbers must be exactly zero: no kernel may allocate once
+/// the flow has handed out its scratch, no matter how cells migrate between
+/// bins.
 fn steady_state_allocs(d: &Design, warmup: usize, measured: usize) -> (f64, f64) {
     let wl = WirelengthModel::new(&d.netlist);
     let density = DensityModel::with_options(d, 128, 128, 1.0, true);
@@ -163,6 +162,7 @@ fn steady_state_allocs(d: &Design, warmup: usize, measured: usize) -> (f64, f64)
     let mut wls = WirelengthScratch::new();
     let mut ds = DensityScratch::new();
     let mut dres = DensityResult::default();
+    density.presize_scratch(&mut ds);
     let (mut gx, mut gy) = (Vec::new(), Vec::new());
     let (mut vx, mut vy) = (Vec::new(), Vec::new());
     let mut iterate = |_: usize| {
@@ -338,11 +338,15 @@ fn main() {
     let (moving, pinned) = steady_state_allocs(&d, 3, if smoke { 3 } else { 5 });
     println!(
         "steady state at {largest} cells: {pinned:.1} allocs/iter pinned, \
-         {moving:.1} allocs/iter while moving (scratch high-water growth)"
+         {moving:.1} allocs/iter while moving (pre-sized scratch)"
     );
     assert_eq!(
         pinned, 0.0,
         "steady-state gradient + Nesterov loop must be allocation-free at {largest} cells"
+    );
+    assert_eq!(
+        moving, 0.0,
+        "pre-sized scratch must make the moving loop allocation-free at {largest} cells"
     );
     let _ = writeln!(out, "  \"steady_state_cells\": {largest},");
     let _ = writeln!(out, "  \"steady_state_allocs_per_iter\": {pinned:.1},");

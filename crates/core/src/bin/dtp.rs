@@ -6,6 +6,7 @@
 //! dtp sta   <bookshelf_prefix> <lib_file>   timing report for a placed design
 //! dtp place <bookshelf_prefix_or_proxy> [--mode wl|nw|diff] [--out dir] [--svg file]
 //!           [--bins N] [--no-density-fft] [--max-iters N] [--threads N]
+//!           [--multilevel] [--cluster-ratio F] [--levels N]
 //!           [--route] [--route-grid N] [--route-capacity C] [--route-weight W]
 //!           [--inflation-max F] [--route-period N]
 //!           [--observe] [--profile] [--metrics-out file] [--trace-out file]
@@ -120,6 +121,7 @@ fn cmd_place(args: &[String]) -> CliResult {
         return Err(
             "usage: dtp place <design> [--mode wl|nw|diff] [--out dir] [--svg file] \
              [--bins N] [--no-density-fft] [--max-iters N] [--threads N] \
+             [--multilevel] [--cluster-ratio F] [--levels N] \
              [--no-rsmt-tables] [--rsmt-table-max-degree N] \
              [--route] [--route-grid N] [--route-capacity C] [--route-weight W] \
              [--inflation-max F] [--route-period N] \
@@ -202,6 +204,18 @@ fn cmd_place(args: &[String]) -> CliResult {
             }
             "--route-period" => {
                 config.route_update_period = num(args, i)?;
+                i += 2;
+            }
+            "--multilevel" => {
+                config.multilevel = true;
+                i += 1;
+            }
+            "--cluster-ratio" => {
+                config.cluster_ratio = num(args, i)?;
+                i += 2;
+            }
+            "--levels" => {
+                config.levels = num(args, i)?;
                 i += 2;
             }
             "--max-iters" => {

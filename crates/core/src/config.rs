@@ -225,6 +225,21 @@ pub struct FlowConfig {
     /// Every parallel kernel reduces in fixed chunk order, so the placement
     /// trajectory is bit-for-bit identical for every value of this knob.
     pub threads: usize,
+    /// Run the multi-level (clustered) V-cycle: coarsen the netlist
+    /// [`levels`](FlowConfig::levels)−1 times by
+    /// [`cluster_ratio`](FlowConfig::cluster_ratio)× each, place the coarsest
+    /// proxy with the cheap wirelength+density objective, then interpolate
+    /// and refine level by level, reserving the full differentiable-timing
+    /// gradient for the finest level. `false` is bit-for-bit inert: the flow
+    /// is identical to a build without the subsystem.
+    pub multilevel: bool,
+    /// Per-level coarsening ratio of the multi-level flow (≈ how many fine
+    /// cells merge into one cluster per level). Values ≤ 1 disable merging.
+    pub cluster_ratio: f64,
+    /// Number of placement levels in the multi-level flow (1 = flat; each
+    /// extra level adds one coarsening pass). Ignored unless
+    /// [`multilevel`](FlowConfig::multilevel) is set.
+    pub levels: usize,
 }
 
 /// Legalization algorithm selection.
@@ -265,6 +280,9 @@ impl Default for FlowConfig {
             route_update_period: 20,
             observe: false,
             threads: 0,
+            multilevel: false,
+            cluster_ratio: 4.0,
+            levels: 2,
         }
     }
 }

@@ -19,7 +19,7 @@
 use crate::config::{FlowConfig, FlowMode, LegalizerChoice};
 use crate::weighting::NetWeighter;
 use dtp_liberty::Library;
-use dtp_netlist::{CellId, Design, NetId, NetlistError};
+use dtp_netlist::{coarsen, CellId, ClusterMap, Design, NetId, NetlistError};
 use dtp_obs::{Counter, Gauge, IterEvent, Observer, Phase};
 use dtp_place::detail::DetailPlacer;
 use dtp_place::{
@@ -39,6 +39,52 @@ use std::time::Instant;
 /// elementwise, so any chunking gives identical results; a fixed size keeps
 /// the parallel shape independent of the pool width.
 const MERGE_CHUNK: usize = 4096;
+
+/// Overflow floor at which a coarse (clustered) level stops. A coarse level
+/// only needs to form the global arrangement; resolving overlap at cluster
+/// granularity costs far more wirelength than resolving it cell-by-cell, so
+/// the expensive low-overflow endgame is left to the finer levels (which
+/// redo it anyway).
+const COARSE_STOP_OVERFLOW: f64 = 0.30;
+
+/// Minimum iterations per coarse level before the overflow stop can fire
+/// (mirrors the fine loop's `iter > 30` guard, scaled down).
+const COARSE_MIN_ITERS: usize = 10;
+
+/// Density overflow below which a warm-started finest level activates its
+/// timing mechanism. A cold flow gates timing on an iteration count
+/// (`start_iter`, default 100) tuned so timing engages once the placement
+/// has spread; a warm start reaches the same state at an unpredictable
+/// iteration, so it latches on the state itself — the overflow the cold
+/// schedule typically shows when its own gate opens. Paired with
+/// [`WARM_LAMBDA_GROWTH_BOOST`], which keeps the descent from here to the
+/// stop overflow short: without it the warm level crawls through this band
+/// at small λ and the (expensive) timing tail runs several times longer
+/// than the cold flow's.
+const WARM_TIMING_OVERFLOW: f64 = 0.15;
+
+/// Multiplier on `FlowConfig::lambda_growth` for warm-started finest levels.
+/// The warm λ re-entry (ratio 0.05 of the gradient balance) buys back the
+/// wirelength-dominant phase, but with the cold growth rate the level then
+/// spends most of its iterations crawling down the last few points of
+/// overflow at small λ — where every iteration may also carry timing work.
+/// A slightly steeper anneal compresses that tail.
+const WARM_LAMBDA_GROWTH_BOOST: f64 = 1.01;
+
+/// Seed placement handed to the finest level by the multi-level driver.
+struct WarmStart {
+    /// Interpolated lower-left x positions, indexed by cell.
+    xs: Vec<f64>,
+    /// Interpolated lower-left y positions.
+    ys: Vec<f64>,
+}
+
+/// The solution of one coarse-level placement.
+struct CoarseOutcome {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    iterations: usize,
+}
 
 /// Adds `scale * add` into `acc` elementwise over the persistent pool.
 fn axpy_into(acc: &mut [f64], add: &[f64], scale: f64) {
@@ -127,8 +173,12 @@ pub struct FlowResult {
     pub gp_wns: f64,
     /// TNS at the end of global placement.
     pub gp_tns: f64,
-    /// Global-placement iterations executed.
+    /// Global-placement iterations executed (summed over all levels in a
+    /// multi-level run).
     pub iterations: usize,
+    /// Iterations per level, coarsest first; a flat (single-level) flow
+    /// reports one entry equal to [`FlowResult::iterations`].
+    pub level_iterations: Vec<usize>,
     /// Wall-clock runtime of the whole flow, seconds.
     pub runtime: f64,
     /// Wall-clock spent inside timing analysis/gradients, seconds: the sum
@@ -439,6 +489,239 @@ fn run_flow_inner(
     config: &FlowConfig,
     obs: &mut Observer,
 ) -> Result<FlowResult, FlowError> {
+    if config.multilevel && config.levels >= 2 && config.cluster_ratio > 1.0 {
+        run_flow_multilevel(design, lib, mode, config, obs)
+    } else {
+        run_flow_fine(design, lib, mode, config, obs, None)
+    }
+}
+
+/// The multi-level (clustered) V-cycle: coarsen the netlist `levels - 1`
+/// times, place the coarsest level from a cold start, then walk back down
+/// the ladder — interpolate each coarse solution onto the next finer level
+/// and refine it there. Coarse levels run wirelength + density only (cluster
+/// pseudo-cells carry synthetic classes the liberty library cannot bind);
+/// the finest level runs the full flow, warm-started, with its timing
+/// mechanism engaging at [`WARM_TIMING_START`].
+fn run_flow_multilevel(
+    design: &Design,
+    lib: &Library,
+    mode: FlowMode,
+    config: &FlowConfig,
+    obs: &mut Observer,
+) -> Result<FlowResult, FlowError> {
+    let t_start = Instant::now();
+
+    // Build the ladder: designs[0] is one level above the input design,
+    // designs[l] is coarser than designs[l - 1]. Stop early when a round
+    // stops reducing (tiny designs, everything fixed).
+    let mut designs: Vec<Design> = Vec::new();
+    let mut maps: Vec<ClusterMap> = Vec::new();
+    let sp = obs.start(Phase::Coarsen);
+    for l in 1..config.levels {
+        let cur = designs.last().unwrap_or(design);
+        let (c, m) = coarsen(cur, config.cluster_ratio, config.seed ^ l as u64);
+        if c.netlist.num_cells() as f64 > 0.9 * cur.netlist.num_cells() as f64 {
+            break;
+        }
+        designs.push(c);
+        maps.push(m);
+    }
+    obs.stop(Phase::Coarsen, sp);
+    if designs.is_empty() {
+        return run_flow_fine(design, lib, mode, config, obs, None);
+    }
+
+    // Upstroke: coarsest → finest. Each level refines the previous level's
+    // interpolated solution; the coarsest starts cold.
+    let mut level_iterations: Vec<usize> = Vec::new();
+    let mut warm_pos: Option<(Vec<f64>, Vec<f64>)> = None;
+    for l in (0..designs.len()).rev() {
+        let out = run_coarse_level(&mut designs[l], l + 1, config, obs, warm_pos.take());
+        dtp_obs::info!(
+            "multilevel: level {} ({} clusters) placed in {} iterations",
+            l + 1,
+            designs[l].netlist.num_cells(),
+            out.iterations
+        );
+        level_iterations.push(out.iterations);
+        let coarse_nl = &designs[l].netlist;
+        let (fine_nl, region) = if l == 0 {
+            (&design.netlist, design.region)
+        } else {
+            (&designs[l - 1].netlist, designs[l - 1].region)
+        };
+        let sp = obs.start(Phase::Interpolate);
+        let (mut fx, mut fy) = fine_nl.positions();
+        maps[l].interpolate(
+            fine_nl, coarse_nl, region, config.seed, &out.xs, &out.ys, &mut fx, &mut fy,
+        );
+        obs.stop(Phase::Interpolate, sp);
+        warm_pos = Some((fx, fy));
+    }
+
+    let (wxs, wys) = warm_pos.take().expect("ladder is non-empty");
+    let mut result = run_flow_fine(
+        design,
+        lib,
+        mode,
+        config,
+        obs,
+        Some(WarmStart { xs: wxs, ys: wys }),
+    )?;
+    dtp_obs::info!(
+        "multilevel: level 0 ({} cells) refined in {} iterations",
+        design.netlist.num_cells(),
+        result.iterations
+    );
+    level_iterations.push(result.iterations);
+    result.iterations = level_iterations.iter().sum();
+    result.level_iterations = level_iterations;
+    result.runtime = t_start.elapsed().as_secs_f64();
+    Ok(result)
+}
+
+/// Places one coarse (clustered) design: plain ePlace — WA wirelength +
+/// electrostatic density under preconditioned Nesterov — with no timing,
+/// routing, or Steiner machinery. Returns the global-placement solution
+/// (unlegalized; finer levels only need the arrangement).
+fn run_coarse_level(
+    work: &mut Design,
+    level: usize,
+    config: &FlowConfig,
+    obs: &mut Observer,
+    warm: Option<(Vec<f64>, Vec<f64>)>,
+) -> CoarseOutcome {
+    let nl_cells = work.netlist.num_cells();
+    // Halve the density grid per level (floor 32): clusters are ~ratio×
+    // larger than cells, so the field granularity must coarsen with them or
+    // it fights cluster interleaving the finer levels resolve trivially.
+    // Powers of two are preserved, so the FFT backend still applies.
+    let bins = (config.bins >> level).max(32.min(config.bins));
+
+    match warm {
+        Some((xs, ys)) => work.netlist.set_positions(&xs, &ys),
+        None => {
+            // Cold start: same center-cluster seeding as the fine flow.
+            let mut rng = StdRng::seed_from_u64(config.seed);
+            let center = work.region.center();
+            let (mut xs, mut ys) = work.netlist.positions();
+            for c in work.netlist.movable_cells() {
+                let i = c.index();
+                let class = work.netlist.class_of(c);
+                xs[i] = center.x - 0.5 * class.width()
+                    + rng.gen_range(-0.02..0.02) * work.region.width();
+                ys[i] = center.y - 0.5 * class.height()
+                    + rng.gen_range(-0.02..0.02) * work.region.height();
+            }
+            work.netlist.set_positions(&xs, &ys);
+        }
+    }
+
+    let wl_model = WirelengthModel::new(&work.netlist);
+    let density = DensityModel::with_options(
+        work,
+        bins,
+        bins,
+        config.target_density,
+        config.density_fft,
+    );
+    let bin_w = work.region.width() / bins as f64;
+    let mut pin_count = vec![0.0f64; nl_cells];
+    for p in work.netlist.pin_ids() {
+        if work.netlist.pin(p).net().is_some() {
+            pin_count[work.netlist.pin(p).cell().index()] += 1.0;
+        }
+    }
+    let areas: Vec<f64> = work
+        .netlist
+        .cell_ids()
+        .map(|c| work.netlist.class_of(c).area())
+        .collect();
+    let mut opt = NesterovOptimizer::new(work, bin_w);
+    let mut vx: Vec<f64> = Vec::new();
+    let mut vy: Vec<f64> = Vec::new();
+    let mut wl_scratch = WirelengthScratch::new();
+    let mut gx: Vec<f64> = Vec::new();
+    let mut gy: Vec<f64> = Vec::new();
+    let mut dscratch = DensityScratch::new();
+    density.presize_scratch(&mut dscratch);
+    let mut dres = DensityResult::default();
+    let mut precond: Vec<f64> = Vec::new();
+    let mut lambda = config.lambda_init;
+    let mut overflow = 1.0f64;
+    let stop_overflow = config.stop_overflow.max(COARSE_STOP_OVERFLOW);
+    // Clusters pre-aggregate connectivity, so the coarse anneal can afford a
+    // density schedule twice as steep as the fine flow's: the arrangement
+    // forms in roughly half the iterations at no observed quality cost (the
+    // finer levels re-anneal the endgame anyway).
+    let lambda_growth = config.lambda_growth * config.lambda_growth;
+
+    let mut iterations = 0usize;
+    for iter in 0..config.max_iters {
+        iterations = iter + 1;
+        {
+            let (a, b) = opt.positions();
+            vx.clear();
+            vx.extend_from_slice(a);
+            vy.clear();
+            vy.extend_from_slice(b);
+        }
+
+        let wa_gamma = (bin_w * (0.1 + 8.0 * overflow)).max(1e-3);
+        let sp = obs.start(Phase::WirelengthGrad);
+        wl_model.wa_gradient_into(&vx, &vy, wa_gamma, None, &mut wl_scratch, &mut gx, &mut gy);
+        obs.stop(Phase::WirelengthGrad, sp);
+
+        let sp = obs.start(Phase::DensityGrad);
+        density.evaluate_into(&vx, &vy, &mut dscratch, &mut dres);
+        overflow = dres.overflow;
+        if lambda == 0.0 {
+            let wl_norm: f64 = gx.iter().chain(gy.iter()).map(|g| g.abs()).sum();
+            let d_norm: f64 = dres
+                .grad_x
+                .iter()
+                .chain(dres.grad_y.iter())
+                .map(|g| g.abs())
+                .sum();
+            lambda = if d_norm > 0.0 { 0.1 * wl_norm / d_norm } else { 1.0 };
+        }
+        axpy_into(&mut gx, &dres.grad_x, lambda);
+        axpy_into(&mut gy, &dres.grad_y, lambda);
+        obs.stop(Phase::DensityGrad, sp);
+
+        let sp = obs.start(Phase::NesterovStep);
+        precond.resize(nl_cells, 0.0);
+        precond
+            .par_chunks_mut(MERGE_CHUNK)
+            .zip(pin_count.par_chunks(MERGE_CHUNK))
+            .zip(areas.par_chunks(MERGE_CHUNK))
+            .for_each(|((pr, pc), ar)| {
+                for ((p, &c), &a) in pr.iter_mut().zip(pc).zip(ar) {
+                    *p = (c + lambda * a).max(1.0);
+                }
+            });
+        opt.step(&gx, &gy, &precond);
+        lambda *= lambda_growth;
+        obs.stop(Phase::NesterovStep, sp);
+
+        if iter > COARSE_MIN_ITERS && overflow < stop_overflow {
+            break;
+        }
+    }
+
+    let (sx, sy) = opt.solution();
+    CoarseOutcome { xs: sx.to_vec(), ys: sy.to_vec(), iterations }
+}
+
+fn run_flow_fine(
+    design: &Design,
+    lib: &Library,
+    mode: FlowMode,
+    config: &FlowConfig,
+    obs: &mut Observer,
+    warm: Option<WarmStart>,
+) -> Result<FlowResult, FlowError> {
     let t_start = Instant::now();
     // `timing_runtime` is reported as the STA-span delta across this run,
     // so a reused observer does not double-count an earlier run's time.
@@ -446,19 +729,47 @@ fn run_flow_inner(
     let mut work = design.clone();
     let nl_cells = work.netlist.num_cells();
 
-    // --- initial placement: cluster at the core center with small noise ----
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let center = work.region.center();
-    let (mut xs, mut ys) = work.netlist.positions();
-    for c in work.netlist.movable_cells() {
-        let i = c.index();
-        let class = work.netlist.class_of(c);
-        xs[i] = center.x - 0.5 * class.width()
-            + rng.gen_range(-0.02..0.02) * work.region.width();
-        ys[i] = center.y - 0.5 * class.height()
-            + rng.gen_range(-0.02..0.02) * work.region.height();
+    // --- initial placement ---------------------------------------------------
+    // Cold start: cluster at the core center with small noise. Warm start
+    // (multi-level): seed from the interpolated coarse solution.
+    match &warm {
+        Some(w) => work.netlist.set_positions(&w.xs, &w.ys),
+        None => {
+            let mut rng = StdRng::seed_from_u64(config.seed);
+            let center = work.region.center();
+            let (mut xs, mut ys) = work.netlist.positions();
+            for c in work.netlist.movable_cells() {
+                let i = c.index();
+                let class = work.netlist.class_of(c);
+                xs[i] = center.x - 0.5 * class.width()
+                    + rng.gen_range(-0.02..0.02) * work.region.width();
+                ys[i] = center.y - 0.5 * class.height()
+                    + rng.gen_range(-0.02..0.02) * work.region.height();
+            }
+            work.netlist.set_positions(&xs, &ys);
+        }
     }
-    work.netlist.set_positions(&xs, &ys);
+
+    // Iteration at which the mode's timing mechanism activates. A cold start
+    // uses the mode's `start_iter` directly; a warm start doesn't know which
+    // iteration corresponds to "spread enough", so it starts unset and is
+    // latched below once overflow first drops under [`WARM_TIMING_OVERFLOW`].
+    // Pure-wirelength mode never activates timing, warm or not.
+    let mut timing_start = match (mode, &warm) {
+        (FlowMode::Wirelength, _) => usize::MAX,
+        (_, Some(_)) => usize::MAX,
+        (FlowMode::Differentiable(d), None) => d.start_iter,
+        (FlowMode::NetWeighting(n), None) => n.start_iter,
+    };
+
+    // A warm start re-enters λ low (auto-balance ratio below) to rebuild a
+    // wirelength-dominant phase, but the standard growth then crawls through
+    // the overflow tail — the placement is already globally arranged, so the
+    // anneal is compressed slightly to keep the (expensive) endgame short.
+    let lambda_growth = match &warm {
+        Some(_) => config.lambda_growth * WARM_LAMBDA_GROWTH_BOOST,
+        None => config.lambda_growth,
+    };
 
     // --- models -------------------------------------------------------------
     let wl_model = WirelengthModel::new(&work.netlist);
@@ -509,6 +820,11 @@ fn run_flow_inner(
     let mut forest_scratch = ForestScratch::new();
     let mut inc = IncrementalState::new(nl_cells);
     let mut scratch = AnalysisScratch::new();
+    // Pre-size every scratch from the design's stats so the steady-state
+    // iteration allocates nothing: the warm-up growth that used to happen
+    // lazily inside the first iterations happens here, once.
+    forest_scratch.presize(work.netlist.num_nets());
+    scratch.presize(work.netlist.num_pins(), work.netlist.num_nets());
     let mut grads = PositionGradients::default();
     let mut prev: Option<Analysis> = None;
     // Persistent position buffers (refilled from the optimizer each
@@ -521,6 +837,7 @@ fn run_flow_inner(
     let mut gx: Vec<f64> = Vec::new();
     let mut gy: Vec<f64> = Vec::new();
     let mut dscratch = DensityScratch::new();
+    density.presize_scratch(&mut dscratch);
     let mut dres = DensityResult::default();
     let mut precond: Vec<f64> = Vec::new();
     let mut lambda = config.lambda_init;
@@ -545,12 +862,18 @@ fn run_flow_inner(
         }
         work.netlist.set_positions(&vx, &vy);
 
+        // Warm-started timing latch: `overflow` here is still the previous
+        // iteration's value, same as the route-activation latch below.
+        if warm.is_some()
+            && timing_start == usize::MAX
+            && !matches!(mode, FlowMode::Wirelength)
+            && iter > 0
+            && overflow < WARM_TIMING_OVERFLOW
+        {
+            timing_start = iter;
+        }
         // Steiner forest maintenance (only when some consumer needs it).
-        let timing_active = match mode {
-            FlowMode::Differentiable(d) => iter >= d.start_iter,
-            FlowMode::NetWeighting(w) => iter >= w.start_iter,
-            FlowMode::Wirelength => false,
-        };
+        let timing_active = iter >= timing_start;
         let trace_timing =
             config.trace_timing_every > 0 && iter % config.trace_timing_every == 0;
         // Congestion optimization latches on once the cells have spread out
@@ -676,6 +999,13 @@ fn run_flow_inner(
         overflow = dres.overflow;
         if lambda == 0.0 {
             // Auto-balance λ against the wirelength gradient on iteration 0.
+            // A warm start re-enters the λ schedule "mid-flight": the
+            // placement is already spread, so the density gradient is small
+            // and the cold-start ratio would over-weight density from the
+            // first step, freezing the arrangement before wirelength (and
+            // timing) can improve it. A lower ratio restores the
+            // wirelength-dominant phase the cold schedule gets for free.
+            let ratio = if warm.is_some() { 0.05 } else { 0.1 };
             let wl_norm: f64 = gx.iter().chain(gy.iter()).map(|g| g.abs()).sum();
             let d_norm: f64 = dres
                 .grad_x
@@ -683,7 +1013,7 @@ fn run_flow_inner(
                 .chain(dres.grad_y.iter())
                 .map(|g| g.abs())
                 .sum();
-            lambda = if d_norm > 0.0 { 0.1 * wl_norm / d_norm } else { 1.0 };
+            lambda = if d_norm > 0.0 { ratio * wl_norm / d_norm } else { 1.0 };
         }
         axpy_into(&mut gx, &dres.grad_x, lambda);
         axpy_into(&mut gy, &dres.grad_y, lambda);
@@ -823,7 +1153,7 @@ fn run_flow_inner(
                 t2 *= dcfg.growth;
             }
             FlowMode::NetWeighting(wcfg)
-                if timing_active && (iter - wcfg.start_iter) % wcfg.sta_period == 0 =>
+                if timing_active && (iter - timing_start) % wcfg.sta_period == 0 =>
             {
                 let f = forest.as_ref().expect("forest built when timing is active");
                 let sp = obs.start(Phase::StaForward);
@@ -913,7 +1243,7 @@ fn run_flow_inner(
                 }
             });
         opt.step(&gx, &gy, &precond);
-        lambda *= config.lambda_growth;
+        lambda *= lambda_growth;
         obs.stop(Phase::NesterovStep, sp);
 
         obs.iter_end(IterEvent {
@@ -1006,6 +1336,7 @@ fn run_flow_inner(
         gp_wns,
         gp_tns,
         iterations,
+        level_iterations: vec![iterations],
         runtime: t_start.elapsed().as_secs_f64(),
         timing_runtime,
         trace,

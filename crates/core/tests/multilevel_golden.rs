@@ -1,0 +1,116 @@
+//! Multi-level flow goldens: disabling `multilevel` must leave the flat flow
+//! bit-for-bit untouched, and enabling it must be deterministic across
+//! thread-pool widths (the V-cycle inherits the flat flow's determinism
+//! contract level by level).
+
+use dtp_core::{run_flow, FlowConfig, FlowMode, FlowResult};
+use dtp_liberty::synth::synthetic_pdk;
+use dtp_netlist::generate::{generate, GeneratorConfig};
+use dtp_netlist::Design;
+
+fn golden_design(cells: usize) -> Design {
+    generate(&GeneratorConfig::named("ml_golden", cells)).expect("generator")
+}
+
+fn assert_bit_identical(a: &FlowResult, b: &FlowResult, what: &str) {
+    assert_eq!(a.xs, b.xs, "x positions differ: {what}");
+    assert_eq!(a.ys, b.ys, "y positions differ: {what}");
+    assert_eq!(a.hpwl, b.hpwl, "hpwl differs: {what}");
+    assert_eq!(a.wns, b.wns, "wns differs: {what}");
+    assert_eq!(a.tns, b.tns, "tns differs: {what}");
+    assert_eq!(a.iterations, b.iterations, "iteration count differs: {what}");
+    assert_eq!(a.level_iterations, b.level_iterations, "level iterations differ: {what}");
+}
+
+/// `multilevel: false` (the default) is inert: the flat flow's trajectory is
+/// bit-for-bit identical whether the V-cycle knobs are at their defaults or
+/// set to active-looking values behind a disabled switch.
+#[test]
+fn multilevel_off_is_bit_identical_to_flat() {
+    let d = golden_design(600);
+    let lib = synthetic_pdk();
+    let base_cfg = FlowConfig {
+        max_iters: 120,
+        trace_timing_every: 20,
+        threads: 1,
+        ..FlowConfig::default()
+    };
+    let base = run_flow(&d, &lib, FlowMode::differentiable(), &base_cfg).expect("flow runs");
+    assert_eq!(base.level_iterations, vec![base.iterations], "flat flow reports one level");
+
+    // Same config with the knobs dialed but the switch off.
+    let off_cfg = FlowConfig {
+        multilevel: false,
+        cluster_ratio: 8.0,
+        levels: 4,
+        ..base_cfg
+    };
+    let off = run_flow(&d, &lib, FlowMode::differentiable(), &off_cfg).expect("flow runs");
+    assert_bit_identical(&base, &off, "multilevel=false with knobs set");
+
+    // Degenerate V-cycle shapes also fall back to the flat path.
+    for (levels, ratio) in [(1usize, 4.0f64), (3, 1.0)] {
+        let cfg = FlowConfig {
+            multilevel: true,
+            cluster_ratio: ratio,
+            levels,
+            ..base_cfg
+        };
+        let r = run_flow(&d, &lib, FlowMode::differentiable(), &cfg).expect("flow runs");
+        assert_bit_identical(&base, &r, "degenerate multilevel shape");
+    }
+}
+
+/// The V-cycle is deterministic: same seed, any pool width, same bits. This is
+/// the multilevel analogue of the flat `flow_is_bit_identical_across_thread_counts`.
+#[test]
+fn multilevel_flow_deterministic_across_thread_counts() {
+    let d = golden_design(800);
+    let lib = synthetic_pdk();
+    let mut cfg = FlowConfig {
+        multilevel: true,
+        cluster_ratio: 3.0,
+        levels: 2,
+        max_iters: 120,
+        trace_timing_every: 20,
+        ..FlowConfig::default()
+    };
+    cfg.threads = 1;
+    let base = run_flow(&d, &lib, FlowMode::differentiable(), &cfg).expect("flow runs");
+    assert_eq!(
+        base.level_iterations.len(),
+        2,
+        "a 2-level V-cycle reports coarse + fine iteration counts"
+    );
+    assert_eq!(
+        base.iterations,
+        base.level_iterations.iter().sum::<usize>(),
+        "total iterations sum over levels"
+    );
+    for threads in [2usize, 4] {
+        cfg.threads = threads;
+        let r = run_flow(&d, &lib, FlowMode::differentiable(), &cfg).expect("flow runs");
+        assert_bit_identical(&base, &r, &format!("threads={threads}"));
+    }
+}
+
+/// The warm-started fine level produces a finite, legal-quality placement in
+/// wirelength mode too (no timer in the loop anywhere in the V-cycle).
+#[test]
+fn multilevel_wirelength_mode_smoke() {
+    let d = golden_design(700);
+    let lib = synthetic_pdk();
+    let cfg = FlowConfig {
+        multilevel: true,
+        cluster_ratio: 4.0,
+        levels: 3,
+        max_iters: 100,
+        trace_timing_every: 0,
+        threads: 2,
+        ..FlowConfig::default()
+    };
+    let r = run_flow(&d, &lib, FlowMode::Wirelength, &cfg).expect("flow runs");
+    assert!(r.hpwl > 0.0 && r.hpwl.is_finite());
+    assert!(!r.level_iterations.is_empty());
+    assert_eq!(r.iterations, r.level_iterations.iter().sum::<usize>());
+}

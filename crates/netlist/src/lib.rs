@@ -49,6 +49,7 @@
 
 mod builder;
 mod class;
+mod cluster;
 mod design;
 mod error;
 mod geom;
@@ -66,6 +67,7 @@ pub mod verilog;
 
 pub use builder::NetlistBuilder;
 pub use class::{CellClass, ClassId, ClassPinId, PinDir, PinKind, PinSpec};
+pub use cluster::{coarsen, ClusterMap, MAX_CLUSTER_NET_DEGREE};
 pub use design::{Design, Row};
 pub use error::NetlistError;
 pub use geom::{Point, Rect};

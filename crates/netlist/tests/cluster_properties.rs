@@ -1,0 +1,142 @@
+//! Property-based tests of the clustering pass: determinism across thread-pool
+//! widths (the multi-level flow's hard requirement) and conservation of the
+//! quantities the density model and timer depend on.
+
+use dtp_netlist::generate::{generate, GeneratorConfig};
+use dtp_netlist::{coarsen, Design};
+use proptest::prelude::*;
+
+fn cfg_strategy() -> impl Strategy<Value = GeneratorConfig> {
+    (
+        100usize..700,
+        1usize..12,
+        0.02f64..0.3,
+        1.5f64..5.0,
+        0u64..10_000,
+    )
+        .prop_map(|(cells, depth, ff, fanout, seed)| {
+            let mut cfg = GeneratorConfig::named("cluprop", cells);
+            cfg.depth = depth;
+            cfg.register_fraction = ff;
+            cfg.mean_fanout = fanout;
+            cfg.seed = seed;
+            cfg
+        })
+}
+
+fn gen_design(cfg: &GeneratorConfig) -> Design {
+    generate(cfg).expect("generator succeeds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `coarsen` is a pure function of `(design, ratio, seed)`: the rayon pool
+    /// width visible at call time must not leak into the assignment, the
+    /// coarse netlist shape, or the coarse positions.
+    #[test]
+    fn coarsening_identical_across_pool_widths(
+        cfg in cfg_strategy(),
+        ratio in 2.0f64..8.0,
+        seed in 0u64..1_000,
+    ) {
+        let d = gen_design(&cfg);
+        let mut runs = Vec::new();
+        for threads in [1usize, 2, 4] {
+            let pool = rayon::Pool::new(threads);
+            let (c, m) = rayon::with_pool(&pool, || coarsen(&d, ratio, seed));
+            runs.push((c, m));
+        }
+        let (c0, m0) = &runs[0];
+        for (c, m) in &runs[1..] {
+            prop_assert_eq!(m.num_clusters(), m0.num_clusters());
+            for cell in d.netlist.cell_ids() {
+                prop_assert_eq!(m.cluster_of(cell), m0.cluster_of(cell));
+            }
+            prop_assert_eq!(c.netlist.num_cells(), c0.netlist.num_cells());
+            prop_assert_eq!(c.netlist.num_nets(), c0.netlist.num_nets());
+            prop_assert_eq!(c.netlist.num_pins(), c0.netlist.num_pins());
+            // Positions are bit-for-bit equal, not just close.
+            prop_assert_eq!(c.netlist.positions(), c0.netlist.positions());
+        }
+    }
+
+    /// The coarse design stays valid and conserves what the finer level hands
+    /// back down: every fine cell lands in exactly one cluster, movable area
+    /// is preserved exactly, and fixed cells survive untouched as singletons.
+    #[test]
+    fn coarsening_conserves_mass_and_fixed_geometry(
+        cfg in cfg_strategy(),
+        ratio in 1.5f64..10.0,
+        seed in 0u64..1_000,
+    ) {
+        let d = gen_design(&cfg);
+        let (c, map) = coarsen(&d, ratio, seed);
+        c.netlist.validate().expect("coarse netlist is valid");
+        prop_assert_eq!(map.num_fine_cells(), d.netlist.num_cells());
+        prop_assert_eq!(map.num_clusters(), c.netlist.num_cells());
+
+        // Partition: the member lists cover each fine cell exactly once and
+        // agree with the forward map.
+        let mut seen = vec![false; d.netlist.num_cells()];
+        for k in 0..map.num_clusters() {
+            for cell in map.members(k) {
+                prop_assert!(!seen[cell.index()], "cell in two clusters");
+                seen[cell.index()] = true;
+                prop_assert_eq!(map.cluster_of(cell), k);
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+
+        // Mass conservation for the density model.
+        let fine_area = d.netlist.movable_area();
+        let coarse_area = c.netlist.movable_area();
+        prop_assert!(
+            (coarse_area - fine_area).abs() <= 1e-6 * fine_area.max(1.0),
+            "coarse movable area {} vs fine {}", coarse_area, fine_area
+        );
+
+        // Fixed cells anchor the placement: singleton clusters with the fine
+        // class, position and fixedness.
+        for f in d.netlist.cell_ids() {
+            if d.netlist.cell(f).is_fixed() {
+                let k = map.cluster_of(f);
+                prop_assert_eq!(map.members(k).count(), 1);
+                let cc = c.netlist.cell(dtp_netlist::CellId::new(k));
+                prop_assert!(cc.is_fixed());
+                prop_assert_eq!(cc.pos(), d.netlist.cell(f).pos());
+            }
+        }
+
+        // The coarse netlist never grows: clustering only merges.
+        prop_assert!(c.netlist.num_cells() <= d.netlist.num_cells());
+        prop_assert!(c.netlist.num_nets() <= d.netlist.num_nets());
+    }
+
+    /// Interpolation seeds every movable fine cell inside the region and
+    /// leaves fixed cells exactly where they were, for any seed.
+    #[test]
+    fn interpolation_respects_region_and_fixed_cells(
+        cfg in cfg_strategy(),
+        seed in 0u64..1_000,
+    ) {
+        let d = gen_design(&cfg);
+        let (c, map) = coarsen(&d, 4.0, seed);
+        let (cxs, cys) = c.netlist.positions();
+        let n = d.netlist.num_cells();
+        let (mut xs, mut ys) = (vec![0.0; n], vec![0.0; n]);
+        map.interpolate(&d.netlist, &c.netlist, d.region, seed, &cxs, &cys, &mut xs, &mut ys);
+        for i in d.netlist.cell_ids() {
+            let cls = d.netlist.class_of(i);
+            if d.netlist.cell(i).is_fixed() {
+                prop_assert_eq!(xs[i.index()], d.netlist.cell(i).pos().x);
+                prop_assert_eq!(ys[i.index()], d.netlist.cell(i).pos().y);
+            } else {
+                prop_assert!(xs[i.index()] >= d.region.xl - 1e-9);
+                prop_assert!(xs[i.index()] + cls.width() <= d.region.xh + 1e-9);
+                prop_assert!(ys[i.index()] >= d.region.yl - 1e-9);
+                prop_assert!(ys[i.index()] + cls.height() <= d.region.yh + 1e-9);
+            }
+        }
+    }
+}

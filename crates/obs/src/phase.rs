@@ -42,11 +42,15 @@ pub enum Phase {
     DetailPlace,
     /// Post-GP and final exact analyses (reporting).
     FinalSta,
+    /// Netlist coarsening for a multi-level (clustered) flow level.
+    Coarsen,
+    /// Projecting a coarse solution onto the next finer level's cells.
+    Interpolate,
 }
 
 impl Phase {
     /// Number of phases (length of every per-phase array).
-    pub const COUNT: usize = 14;
+    pub const COUNT: usize = 16;
 
     /// Every phase, in slot order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -64,6 +68,8 @@ impl Phase {
         Phase::Legalize,
         Phase::DetailPlace,
         Phase::FinalSta,
+        Phase::Coarsen,
+        Phase::Interpolate,
     ];
 
     /// Dense slot index of this phase.
@@ -89,6 +95,8 @@ impl Phase {
             Phase::Legalize => "legalize",
             Phase::DetailPlace => "detail_place",
             Phase::FinalSta => "final_sta",
+            Phase::Coarsen => "coarsen",
+            Phase::Interpolate => "interpolate",
         }
     }
 

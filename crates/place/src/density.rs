@@ -52,6 +52,10 @@ pub struct DensityModel {
     bin_w: f64,
     bin_h: f64,
     spectral: Spectral2D,
+    /// Bumped whenever the stamp footprints (`w_eff`) change, so a scratch
+    /// sized for an older footprint set re-sizes itself on the next
+    /// evaluation instead of overflowing its flat record segments.
+    sizing_epoch: u64,
     /// Cell sizes (possibly inflated to the bin size; charge preserved).
     w_eff: Vec<f64>,
     h_eff: Vec<f64>,
@@ -88,14 +92,27 @@ pub struct DensityResult {
     pub max_density: f64,
 }
 
-/// Reusable intermediates for [`DensityModel::evaluate_into`]. Buffers grow
-/// on first use; steady-state evaluations allocate nothing.
+/// Reusable intermediates for [`DensityModel::evaluate_into`].
+///
+/// The stamp records live in one flat arena sized up front from the model's
+/// footprint statistics (count-then-fill, not push-and-grow), so once a
+/// scratch has been sized — lazily on the first evaluation, or eagerly via
+/// [`DensityModel::presize_scratch`] — steady-state evaluations perform
+/// *zero* heap allocations no matter how cells migrate across column blocks.
 #[derive(Clone, Debug, Default)]
 pub struct DensityScratch {
-    /// Stamp-record buckets, `chunks × blocks` flattened as
-    /// `buckets[ci · blocks + b]`; inner vectors retain capacity across
-    /// evaluations, so steady-state stamping allocates nothing.
-    buckets: Vec<Vec<StampRec>>,
+    /// Flat stamp-record arena: chunk `ci`'s segment is
+    /// `recs[ci · seg_len..(ci + 1) · seg_len]`, where `seg_len` is the
+    /// worst-case block coverage of any one chunk.
+    recs: Vec<StampRec>,
+    /// Uniform per-chunk segment length of `recs`.
+    seg_len: usize,
+    /// Per-(chunk × block) record counts, `counts[ci · blocks + b]`.
+    counts: Vec<u32>,
+    /// Chunk-local start of each (chunk × block) run within the segment.
+    offsets: Vec<u32>,
+    /// Footprint epoch + cell count this scratch's arena was sized for.
+    sized_for: Option<(usize, u64)>,
     /// Reduced density grid ρ.
     rho: Vec<f64>,
     /// Mean-removed, area-normalized density ρ̂.
@@ -172,6 +189,7 @@ impl DensityModel {
             bin_w,
             bin_h,
             spectral: Spectral2D::with_fft(m, n, region.width(), region.height(), allow_fft),
+            sizing_epoch: 0,
             w_eff,
             h_eff,
             w_true,
@@ -231,6 +249,50 @@ impl DensityModel {
             }
         }
         self.movable_area = movable_area;
+        // Footprints changed: any existing scratch arena must re-size before
+        // its next use.
+        self.sizing_epoch += 1;
+    }
+
+    /// Sizes `scratch`'s stamp arena for this model's worst-case per-chunk
+    /// block coverage, computed from the effective footprints. Called lazily
+    /// by [`DensityModel::evaluate_into`]; calling it eagerly at flow start
+    /// moves the one-time sizing allocation out of the iteration loop so the
+    /// steady state is allocation-free from the very first evaluation.
+    pub fn presize_scratch(&self, scratch: &mut DensityScratch) {
+        let n_cells = self.charge.len();
+        if scratch.sized_for == Some((n_cells, self.sizing_epoch)) {
+            return;
+        }
+        let chunks = chunk_count(n_cells, CELL_CHUNK).max(1);
+        let blocks = self.m.div_ceil(BLOCK_COLS);
+        scratch.counts.clear();
+        scratch.counts.resize(chunks * blocks, 0);
+        scratch.offsets.clear();
+        scratch.offsets.resize(chunks * blocks, 0);
+        let mut seg = 0usize;
+        for ci in 0..chunks {
+            let lo = ci * CELL_CHUNK;
+            let hi = (lo + CELL_CHUNK).min(n_cells);
+            let mut need = 0usize;
+            for c in lo..hi {
+                if self.charge[c] == 0.0 {
+                    continue;
+                }
+                // A stamp of width w covers at most ceil(w/bin_w)+1 columns,
+                // hence at most that many / BLOCK_COLS (+1 for straddling)
+                // blocks — a position-independent bound.
+                let cols = (self.w_eff[c] / self.bin_w).ceil() as usize + 1;
+                need += (cols.div_ceil(BLOCK_COLS) + 1).min(blocks);
+            }
+            seg = seg.max(need);
+        }
+        scratch.seg_len = seg.max(1);
+        scratch.recs.resize(
+            chunks * scratch.seg_len,
+            StampRec { xl: 0.0, yl: 0.0, xh: 0.0, yh: 0.0, dens: 0.0 },
+        );
+        scratch.sized_for = Some((n_cells, self.sizing_epoch));
     }
 
     /// Evaluates density energy, overflow and per-cell gradients at the given
@@ -267,47 +329,84 @@ impl DensityModel {
         let chunks = chunk_count(n_cells, CELL_CHUNK).max(1);
         let blocks = self.m.div_ceil(BLOCK_COLS);
 
-        // --- Stamp pass 1: bucket each cell's rectangle by column block --
-        scratch.buckets.resize_with(chunks * blocks, Vec::new);
-        scratch.buckets.par_chunks_mut(blocks).enumerate().for_each(|(ci, bks)| {
-            for b in bks.iter_mut() {
-                b.clear();
-            }
-            let lo = ci * CELL_CHUNK;
-            let hi = (lo + CELL_CHUNK).min(n_cells);
-            for c in lo..hi {
-                let q = self.charge[c];
-                if q == 0.0 {
-                    continue;
-                }
-                let (w, h) = (self.w_eff[c], self.h_eff[c]);
-                // Center the inflated footprint on the true cell center.
-                let cx = xs[c] + 0.5 * self.w_true[c];
-                let cy = ys[c] + 0.5 * self.h_true[c];
-                let rec = StampRec {
-                    xl: cx - 0.5 * w,
-                    yl: cy - 0.5 * h,
-                    xh: cx + 0.5 * w,
-                    yh: cy + 0.5 * h,
-                    dens: q / (w * h),
+        // --- Stamp pass 1: sort each cell's rectangle into its chunk's flat
+        // arena segment, one run per covered column block. Count, prefix,
+        // fill — no growable buckets, so the steady state never allocates no
+        // matter how cells migrate across blocks.
+        self.presize_scratch(scratch);
+        let seg_len = scratch.seg_len;
+        scratch
+            .counts
+            .par_chunks_mut(blocks)
+            .zip(scratch.offsets.par_chunks_mut(blocks))
+            .zip(scratch.recs.par_chunks_mut(seg_len))
+            .enumerate()
+            .for_each(|(ci, ((counts, offsets), recs))| {
+                counts.fill(0);
+                let lo = ci * CELL_CHUNK;
+                let hi = (lo + CELL_CHUNK).min(n_cells);
+                // Same expressions as the record corners below, so the span
+                // is bit-for-bit consistent between the count and fill
+                // sweeps and with `stamp_block`'s own clipping.
+                let block_span = |c: usize, x: f64| {
+                    let w = self.w_eff[c];
+                    let cx = x + 0.5 * self.w_true[c];
+                    let (i0, i1) = self.col_range(cx - 0.5 * w, cx + 0.5 * w);
+                    (i0 / BLOCK_COLS, i1.div_ceil(BLOCK_COLS).min(blocks))
                 };
-                let (i0, i1) = self.col_range(rec.xl, rec.xh);
-                let hi = i1.div_ceil(BLOCK_COLS).min(blocks);
-                for bk in bks.iter_mut().take(hi).skip(i0 / BLOCK_COLS) {
-                    bk.push(rec);
+                for (c, &x) in xs.iter().enumerate().take(hi).skip(lo) {
+                    if self.charge[c] == 0.0 {
+                        continue;
+                    }
+                    let (b0, b1) = block_span(c, x);
+                    for k in &mut counts[b0..b1] {
+                        *k += 1;
+                    }
                 }
-            }
-        });
+                let mut run = 0u32;
+                for (o, &k) in offsets.iter_mut().zip(counts.iter()) {
+                    *o = run;
+                    run += k;
+                }
+                counts.fill(0);
+                for c in lo..hi {
+                    let q = self.charge[c];
+                    if q == 0.0 {
+                        continue;
+                    }
+                    let (w, h) = (self.w_eff[c], self.h_eff[c]);
+                    // Center the inflated footprint on the true cell center.
+                    let cx = xs[c] + 0.5 * self.w_true[c];
+                    let cy = ys[c] + 0.5 * self.h_true[c];
+                    let rec = StampRec {
+                        xl: cx - 0.5 * w,
+                        yl: cy - 0.5 * h,
+                        xh: cx + 0.5 * w,
+                        yh: cy + 0.5 * h,
+                        dens: q / (w * h),
+                    };
+                    let (b0, b1) = block_span(c, xs[c]);
+                    for b in b0..b1 {
+                        recs[(offsets[b] + counts[b]) as usize] = rec;
+                        counts[b] += 1;
+                    }
+                }
+            });
 
         // --- Stamp pass 2: accumulate each block's records into its own
-        // disjoint ρ columns, walking buckets in chunk order so the per-bin
-        // addition order is independent of the pool width.
+        // disjoint ρ columns, walking the chunks' runs in ascending chunk
+        // order so the per-bin addition order is independent of the pool
+        // width (and identical to the legacy bucketed layout).
         ensure_len(&mut scratch.rho, bins);
-        let buckets = &scratch.buckets;
+        let recs = &scratch.recs;
+        let counts = &scratch.counts;
+        let offsets = &scratch.offsets;
         scratch.rho.par_chunks_mut(BLOCK_COLS * self.n).enumerate().for_each(|(b, rho)| {
             rho.fill(0.0);
             for ci in 0..chunks {
-                for rec in &buckets[ci * blocks + b] {
+                let lo = ci * seg_len + offsets[ci * blocks + b] as usize;
+                let hi = lo + counts[ci * blocks + b] as usize;
+                for rec in &recs[lo..hi] {
                     self.stamp_block(rho, b, rec);
                 }
             }

@@ -111,6 +111,20 @@ impl ForestScratch {
     pub fn new() -> ForestScratch {
         ForestScratch::default()
     }
+
+    /// Pre-sizes the job spine for a design with `num_nets` nets and
+    /// materializes one worker lane per thread of the current pool, so the
+    /// first maintenance sweeps start from a warm scratch instead of growing
+    /// these buffers inside the iteration loop.
+    pub fn presize(&mut self, num_nets: usize) {
+        if self.jobs.capacity() < num_nets {
+            self.jobs.reserve(num_nets - self.jobs.capacity());
+        }
+        let lanes = rayon::current_num_threads().max(1);
+        while self.lanes.len() < lanes {
+            self.lanes.push(Lane::default());
+        }
+    }
 }
 
 /// Forest composition and sequence-cache counters, for reporting.

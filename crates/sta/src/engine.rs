@@ -316,6 +316,42 @@ impl AnalysisScratch {
         AnalysisScratch::default()
     }
 
+    /// Pre-sizes the pools and per-entity buffers for a design with
+    /// `num_pins` pins and `num_nets` nets, so the warm-up allocations of the
+    /// first analyses happen once at flow start instead of inside the
+    /// iteration loop. Six pin-length `f64` buffers plus one Elmore vector
+    /// cover a full [`Analysis`]; the pools hold two of each because the
+    /// incremental flow keeps the previous analysis alive while building the
+    /// next one. The incremental bookkeeping vectors are grown to their
+    /// steady-state lengths directly.
+    pub fn presize(&mut self, num_pins: usize, num_nets: usize) {
+        while self.pool_f64.len() < 12 {
+            self.pool_f64.push(Vec::new());
+        }
+        for v in self.pool_f64.iter_mut() {
+            if v.capacity() < num_pins {
+                v.reserve(num_pins - v.capacity());
+            }
+        }
+        while self.pool_elmore.len() < 2 {
+            self.pool_elmore.push(Vec::new());
+        }
+        for v in self.pool_elmore.iter_mut() {
+            if v.capacity() < num_nets {
+                v.reserve(num_nets - v.capacity());
+            }
+        }
+        self.level_results.reserve(num_pins.saturating_sub(self.level_results.capacity()));
+        self.net_dirty.reserve(num_nets.saturating_sub(self.net_dirty.capacity()));
+        self.pin_dirty.reserve(num_pins.saturating_sub(self.pin_dirty.capacity()));
+        self.dirty_nets.reserve(num_nets.saturating_sub(self.dirty_nets.capacity()));
+        self.rebuilt.reserve(num_nets.saturating_sub(self.rebuilt.capacity()));
+        self.g_at.reserve(num_pins.saturating_sub(self.g_at.capacity()));
+        self.g_slew.reserve(num_pins.saturating_sub(self.g_slew.capacity()));
+        self.seeds.reserve(num_nets.saturating_sub(self.seeds.capacity()));
+        self.net_grads.reserve(num_nets.saturating_sub(self.net_grads.capacity()));
+    }
+
     /// Retires an [`Analysis`], returning its vectors to the pool so the
     /// next `*_into` call reuses them instead of allocating.
     pub fn recycle(&mut self, analysis: Analysis) {
