@@ -83,6 +83,9 @@ fn main() {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"design_cells\": {cells},");
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let _ = writeln!(out, "  \"host_threads\": {host_threads},");
+    let _ = writeln!(out, "  \"threads\": {},", rayon::current_num_threads());
     let _ = writeln!(out, "  \"max_iters\": {max_iters},");
 
     // --- 1. Flow overhead: observe off vs on ------------------------------

@@ -144,6 +144,9 @@ fn main() {
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"design_cells\": {},", design.netlist.num_cells());
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let _ = writeln!(json, "  \"host_threads\": {host_threads},");
+    let _ = writeln!(json, "  \"threads\": {},", rayon::current_num_threads());
     let _ = writeln!(json, "  \"route_grid\": {grid},");
     let _ = writeln!(json, "  \"route_capacity\": {capacity:.4},");
     let _ = writeln!(json, "  \"flow\": {{");

@@ -127,6 +127,8 @@ fn main() {
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"design_cells\": {cells},");
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let _ = writeln!(json, "  \"host_threads\": {host_threads},");
     let _ = writeln!(json, "  \"threads\": {},", rayon::current_num_threads());
 
     // --- 1. Table prewarm -------------------------------------------------

@@ -106,6 +106,9 @@ fn main() {
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"design_cells\": {nl_cells},");
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let _ = writeln!(json, "  \"host_threads\": {host_threads},");
+    let _ = writeln!(json, "  \"threads\": {},", rayon::current_num_threads());
     let _ = writeln!(json, "  \"analyze_ns\": {analyze_ns:.0},");
     let _ = writeln!(json, "  \"analyze_smoothed_ns\": {smoothed_ns:.0},");
     let _ = writeln!(json, "  \"gradients_ns\": {gradients_ns:.0},");

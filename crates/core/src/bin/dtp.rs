@@ -4,7 +4,10 @@
 //! ```text
 //! dtp gen   <name> <cells> <out_dir>        generate a synthetic design (Bookshelf + .lib + .sdc)
 //! dtp sta   <bookshelf_prefix> <lib_file>   timing report for a placed design
-//! dtp place <bookshelf_prefix_or_proxy> [--mode wl|nw|diff] [--out dir] [--svg file]
+//! dtp place <bookshelf_prefix_or_proxy>
+//!           [--mode wirelength|net-weighting|differentiable|path-extraction]
+//!           [--top-k N] [--extract-period N] [--path-decay F] [--pin-weight-cap F]
+//!           [--out dir] [--svg file]
 //!           [--bins N] [--no-density-fft] [--max-iters N] [--threads N]
 //!           [--multilevel] [--cluster-ratio F] [--levels N]
 //!           [--route] [--route-grid N] [--route-capacity C] [--route-weight W]
@@ -13,6 +16,11 @@
 //!           [--log-level error|warn|info|debug]
 //! dtp proxy <sbN> [scale_denom]             print statistics of a superblue proxy
 //! ```
+//!
+//! Mode selection is unified under `--mode`; the historical short names
+//! `wl`, `nw` and `diff` still parse as deprecated aliases. The `--top-k`,
+//! `--extract-period`, `--path-decay` and `--pin-weight-cap` knobs configure
+//! `--mode path-extraction` and are ignored (with a warning) elsewhere.
 //!
 //! Designs can be given either as a Bookshelf prefix (path to
 //! `X.{nodes,nets,pl,scl}`) or as a built-in proxy name (`sb1`…`sb18`).
@@ -25,7 +33,7 @@
 //! `--log-level warn` silences the informational summaries, leaving stdout
 //! machine-clean (the `FlowResult` line only).
 
-use dtp_core::{run_flow_observed, FlowConfig, FlowMode};
+use dtp_core::{run_flow_observed, FlowConfig, FlowMode, PathExtractConfig};
 use dtp_obs::{self as obs, Level, Observer, QorSummary};
 use dtp_liberty::synth::synthetic_pdk;
 use dtp_netlist::generate::{generate, superblue_proxy, GeneratorConfig};
@@ -119,7 +127,10 @@ fn cmd_sta(args: &[String]) -> CliResult {
 fn cmd_place(args: &[String]) -> CliResult {
     let Some(spec) = args.first() else {
         return Err(
-            "usage: dtp place <design> [--mode wl|nw|diff] [--out dir] [--svg file] \
+            "usage: dtp place <design> \
+             [--mode wirelength|net-weighting|differentiable|path-extraction] \
+             [--top-k N] [--extract-period N] [--path-decay F] [--pin-weight-cap F] \
+             [--out dir] [--svg file] \
              [--bins N] [--no-density-fft] [--max-iters N] [--threads N] \
              [--multilevel] [--cluster-ratio F] [--levels N] \
              [--no-rsmt-tables] [--rsmt-table-max-degree N] \
@@ -132,6 +143,8 @@ fn cmd_place(args: &[String]) -> CliResult {
     };
     let mut mode = FlowMode::differentiable();
     let mut config = FlowConfig::default();
+    let mut pcfg = PathExtractConfig::default();
+    let mut path_knobs_set = false;
     let mut out_dir: Option<String> = None;
     let mut svg_path: Option<String> = None;
     let mut profile = false;
@@ -150,12 +163,53 @@ fn cmd_place(args: &[String]) -> CliResult {
     while i < args.len() {
         match args[i].as_str() {
             "--mode" => {
-                mode = match args.get(i + 1).map(String::as_str) {
-                    Some("wl") => FlowMode::Wirelength,
-                    Some("nw") => FlowMode::net_weighting(),
-                    Some("diff") => FlowMode::differentiable(),
-                    other => return Err(format!("unknown mode {other:?}").into()),
+                let name = args.get(i + 1).map(String::as_str);
+                mode = match name {
+                    Some("wirelength") => FlowMode::Wirelength,
+                    Some("net-weighting") => FlowMode::net_weighting(),
+                    Some("differentiable") => FlowMode::differentiable(),
+                    Some("path-extraction") => FlowMode::path_extraction(),
+                    // Deprecated short aliases (pre-unification spelling).
+                    Some(alias @ ("wl" | "nw" | "diff")) => {
+                        let (m, canonical) = match alias {
+                            "wl" => (FlowMode::Wirelength, "wirelength"),
+                            "nw" => (FlowMode::net_weighting(), "net-weighting"),
+                            _ => (FlowMode::differentiable(), "differentiable"),
+                        };
+                        obs::warn!(
+                            "warning: `--mode {alias}` is a deprecated alias; \
+                             use `--mode {canonical}`"
+                        );
+                        m
+                    }
+                    other => {
+                        return Err(format!(
+                            "unknown mode {other:?} (wirelength|net-weighting|\
+                             differentiable|path-extraction)"
+                        )
+                        .into())
+                    }
                 };
+                i += 2;
+            }
+            "--top-k" => {
+                pcfg.top_k = num(args, i)?;
+                path_knobs_set = true;
+                i += 2;
+            }
+            "--extract-period" => {
+                pcfg.extract_period = num(args, i)?;
+                path_knobs_set = true;
+                i += 2;
+            }
+            "--path-decay" => {
+                pcfg.path_decay = num(args, i)?;
+                path_knobs_set = true;
+                i += 2;
+            }
+            "--pin-weight-cap" => {
+                pcfg.pin_weight_cap = num(args, i)?;
+                path_knobs_set = true;
                 i += 2;
             }
             "--out" => {
@@ -273,6 +327,46 @@ fn cmd_place(args: &[String]) -> CliResult {
             config.bins
         );
         config.bins = rounded;
+    }
+    // Fold the path-extraction knobs into the selected mode (they may appear
+    // on either side of `--mode` on the command line).
+    match &mut mode {
+        FlowMode::PathExtraction(c) => *c = pcfg,
+        _ if path_knobs_set => obs::warn!(
+            "warning: --top-k/--extract-period/--path-decay/--pin-weight-cap only \
+             apply to --mode path-extraction; ignored"
+        ),
+        _ => {}
+    }
+    // Per-mode configuration, at info so stdout stays machine-clean at warn.
+    match mode {
+        FlowMode::Wirelength => obs::info!("mode wirelength: no timing mechanism"),
+        FlowMode::NetWeighting(c) => obs::info!(
+            "mode net-weighting: momentum {} max_boost {} sta_period {} start_iter {}",
+            c.momentum,
+            c.max_boost,
+            c.sta_period,
+            c.start_iter
+        ),
+        FlowMode::Differentiable(c) => obs::info!(
+            "mode differentiable: gamma {} t1 {} t2 {} growth {} start_iter {} \
+             steiner_rebuild_period {}",
+            c.gamma,
+            c.t1,
+            c.t2,
+            c.growth,
+            c.start_iter,
+            c.steiner_rebuild_period
+        ),
+        FlowMode::PathExtraction(c) => obs::info!(
+            "mode path-extraction: top_k {} extract_period {} path_decay {} \
+             pin_weight_cap {} start_iter {}",
+            c.top_k,
+            c.extract_period,
+            c.path_decay,
+            c.pin_weight_cap,
+            c.start_iter
+        ),
     }
     let mut design = load_design(spec)?;
     if design.constraints.clock_port.is_none() && design.constraints.clock_period >= 1000.0 {

@@ -92,7 +92,49 @@ impl Default for NetWeightConfig {
     }
 }
 
-/// Which placement flow to run (the three columns of Table 3).
+/// Configuration of the top-K critical-path-extraction timing mode.
+///
+/// Instead of back-propagating through every timing arc (the differentiable
+/// objective) or exact-analyzing every endpoint into momentum net weights
+/// (the net-weighting baseline), this mode periodically runs a forward-only
+/// exact analysis, extracts the `top_k` worst paths
+/// ([`dtp_sta::Timer::extract_paths_into`]) and converts the per-pin
+/// criticalities into wirelength-model net weights: a net touched by a pin
+/// of criticality `c` gets weight `1 + (pin_weight_cap − 1) · c` (max over
+/// its pins).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PathExtractConfig {
+    /// Number of worst endpoints traced per extraction.
+    pub top_k: usize,
+    /// Run the analysis + extraction every this many iterations.
+    pub extract_period: usize,
+    /// Criticality decay per path rank (rank r is scaled by `decay^r`).
+    pub path_decay: f64,
+    /// Net weight of a fully critical (rank-0, slack = WNS) pin; weights
+    /// interpolate between 1 and this cap with criticality. The sparse
+    /// weights need a much stronger pull than net-weighting's dense boost:
+    /// only a few dozen nets carry any timing force, so a small cap leaves
+    /// the critical cone dominated by the wirelength term (the bench
+    /// frontier loses ~20% WNS at cap 3 and ~1% at cap 8).
+    pub pin_weight_cap: f64,
+    /// Iteration at which path-driven weighting starts.
+    pub start_iter: usize,
+}
+
+impl Default for PathExtractConfig {
+    fn default() -> Self {
+        PathExtractConfig {
+            top_k: 32,
+            extract_period: 5,
+            path_decay: 0.9,
+            pin_weight_cap: 8.0,
+            start_iter: 100,
+        }
+    }
+}
+
+/// Which placement flow to run (the three columns of Table 3, plus the
+/// path-extraction mode).
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub enum FlowMode {
     /// Wirelength-driven only (DREAMPlace \[16\]).
@@ -101,6 +143,9 @@ pub enum FlowMode {
     NetWeighting(NetWeightConfig),
     /// Differentiable-timing-driven (this paper).
     Differentiable(DiffTimingConfig),
+    /// Top-K critical-path extraction driving net weights (the cheap, sharp
+    /// timing signal of arXiv 2503.11674).
+    PathExtraction(PathExtractConfig),
 }
 
 impl FlowMode {
@@ -114,12 +159,18 @@ impl FlowMode {
         FlowMode::NetWeighting(NetWeightConfig::default())
     }
 
+    /// The path-extraction mode with default hyperparameters.
+    pub fn path_extraction() -> FlowMode {
+        FlowMode::PathExtraction(PathExtractConfig::default())
+    }
+
     /// Short label used in tables.
     pub fn label(&self) -> &'static str {
         match self {
             FlowMode::Wirelength => "DREAMPlace",
             FlowMode::NetWeighting(_) => "NetWeighting",
             FlowMode::Differentiable(_) => "Ours",
+            FlowMode::PathExtraction(_) => "PathExtract",
         }
     }
 }
@@ -307,5 +358,17 @@ mod tests {
         assert_eq!(FlowMode::Wirelength.label(), "DREAMPlace");
         assert_eq!(FlowMode::net_weighting().label(), "NetWeighting");
         assert_eq!(FlowMode::differentiable().label(), "Ours");
+        assert_eq!(FlowMode::path_extraction().label(), "PathExtract");
+    }
+
+    #[test]
+    fn path_extract_defaults() {
+        let p = PathExtractConfig::default();
+        assert_eq!(p.top_k, 32);
+        assert_eq!(p.extract_period, 5);
+        assert!((p.path_decay - 0.9).abs() < 1e-12);
+        assert!((p.pin_weight_cap - 8.0).abs() < 1e-12);
+        assert_eq!(p.start_iter, 100);
+        assert!(p.pin_weight_cap >= 1.0, "cap below 1 would anti-weight");
     }
 }

@@ -1,13 +1,17 @@
 //! The global placement flows (Fig. 7 of the paper).
 //!
-//! One engine drives all three Table-3 flows; they differ only in which
+//! One engine drives all the Table-3 flows; they differ only in which
 //! timing mechanism injects itself into the gradient:
 //!
 //! - wirelength-only: none;
 //! - net weighting: exact STA → per-net weights in the WA wirelength;
 //! - differentiable (ours): smoothed STA → TNS/WNS gradients added to the
 //!   wirelength + density gradient, Steiner forest rebuilt every N
-//!   iterations and branch-updated in between.
+//!   iterations and branch-updated in between;
+//! - path extraction: forward-only exact STA → top-K critical paths →
+//!   per-net weights concentrated on the extracted pins (the cheap, sharp
+//!   timing signal; same weight slot as net weighting, a fraction of the
+//!   differentiable mode's per-iteration timing cost).
 //!
 //! Orthogonally to the timing mechanism, [`FlowConfig::route_aware`] enables
 //! the routability subsystem (`dtp-route`): a smoothed congestion penalty
@@ -17,7 +21,7 @@
 //! the same geometry-dirty net sets that drive incremental timing.
 
 use crate::config::{FlowConfig, FlowMode, LegalizerChoice};
-use crate::weighting::NetWeighter;
+use crate::weighting::{NetWeighter, PathWeighter};
 use dtp_liberty::Library;
 use dtp_netlist::{coarsen, CellId, ClusterMap, Design, NetId, NetlistError};
 use dtp_obs::{Counter, Gauge, IterEvent, Observer, Phase};
@@ -537,7 +541,8 @@ fn run_flow_multilevel(
     let mut level_iterations: Vec<usize> = Vec::new();
     let mut warm_pos: Option<(Vec<f64>, Vec<f64>)> = None;
     for l in (0..designs.len()).rev() {
-        let out = run_coarse_level(&mut designs[l], l + 1, config, obs, warm_pos.take());
+        let out =
+            run_coarse_level(&mut designs[l], l + 1, lib, mode, config, obs, warm_pos.take());
         dtp_obs::info!(
             "multilevel: level {} ({} clusters) placed in {} iterations",
             l + 1,
@@ -582,12 +587,25 @@ fn run_flow_multilevel(
 }
 
 /// Places one coarse (clustered) design: plain ePlace — WA wirelength +
-/// electrostatic density under preconditioned Nesterov — with no timing,
-/// routing, or Steiner machinery. Returns the global-placement solution
-/// (unlegalized; finer levels only need the arrangement).
+/// electrostatic density under preconditioned Nesterov — with no routing
+/// machinery and, in most modes, no timing (cluster pseudo-cells carry
+/// synthetic classes the library cannot bind, so the full differentiable
+/// objective is unavailable here).
+///
+/// The one exception is [`FlowMode::PathExtraction`]: its timing signal
+/// needs only a forward analysis over whatever endpoints *survive*
+/// coarsening (uncollapsed registers, primary outputs), so when the coarse
+/// design still has endpoints, the level periodically extracts the top-K
+/// paths and carries their net weights in the WA wirelength — timing
+/// pressure on the levels where the differentiable gradient cannot run.
+///
+/// Returns the global-placement solution (unlegalized; finer levels only
+/// need the arrangement).
 fn run_coarse_level(
     work: &mut Design,
     level: usize,
+    lib: &Library,
+    mode: FlowMode,
     config: &FlowConfig,
     obs: &mut Observer,
     warm: Option<(Vec<f64>, Vec<f64>)>,
@@ -651,6 +669,22 @@ fn run_coarse_level(
     let mut lambda = config.lambda_init;
     let mut overflow = 1.0f64;
     let stop_overflow = config.stop_overflow.max(COARSE_STOP_OVERFLOW);
+
+    // Coarse path extraction: only when the mode asks for it, the clustered
+    // netlist still binds (synthetic cluster classes bind as unbound
+    // pass-throughs), and some endpoints survived coarsening. Everything is
+    // guarded — a fully clustered proxy with no endpoints skips the
+    // machinery entirely and the level stays pure wirelength + density.
+    let mut coarse_paths = match mode {
+        FlowMode::PathExtraction(pcfg) => Timer::new(work, lib)
+            .ok()
+            .filter(|t| !t.graph().endpoints().is_empty())
+            .map(|t| {
+                let pw = PathWeighter::new(&work.netlist, &wl_model, pcfg);
+                (t, pw, AnalysisScratch::new(), pcfg.extract_period.max(1))
+            }),
+        _ => None,
+    };
     // Clusters pre-aggregate connectivity, so the coarse anneal can afford a
     // density schedule twice as steep as the fine flow's: the arrangement
     // forms in roughly half the iterations at no observed quality cost (the
@@ -668,9 +702,33 @@ fn run_coarse_level(
             vy.extend_from_slice(b);
         }
 
+        // Periodic top-K extraction (path-extraction mode only): a fresh
+        // forest + forward-only analysis at the extraction cadence; the
+        // resulting net weights ride in the WA wirelength below until the
+        // next extraction.
+        if let Some((timer, pw, ascratch, period)) = coarse_paths.as_mut() {
+            if iter % *period == 0 {
+                work.netlist.set_positions(&vx, &vy);
+                let sp = obs.start(Phase::SteinerBuild);
+                let f = build_forest(&work.netlist);
+                obs.stop(Phase::SteinerBuild, sp);
+                obs.add(Counter::ForestBuilds, 1);
+                let sp = obs.start(Phase::StaForward);
+                let a = timer.analyze_no_rat_into(&work.netlist, &f, ascratch);
+                obs.stop(Phase::StaForward, sp);
+                obs.add(Counter::StaFull, 1);
+                let sp = obs.start(Phase::PathExtract);
+                pw.update(&work.netlist, timer, &a);
+                obs.stop(Phase::PathExtract, sp);
+                obs.add(Counter::PathExtractions, 1);
+                ascratch.recycle(a);
+            }
+        }
+        let weights = coarse_paths.as_ref().map(|(_, pw, _, _)| pw.weights());
+
         let wa_gamma = (bin_w * (0.1 + 8.0 * overflow)).max(1e-3);
         let sp = obs.start(Phase::WirelengthGrad);
-        wl_model.wa_gradient_into(&vx, &vy, wa_gamma, None, &mut wl_scratch, &mut gx, &mut gy);
+        wl_model.wa_gradient_into(&vx, &vy, wa_gamma, weights, &mut wl_scratch, &mut gx, &mut gy);
         obs.stop(Phase::WirelengthGrad, sp);
 
         let sp = obs.start(Phase::DensityGrad);
@@ -760,6 +818,7 @@ fn run_flow_fine(
         (_, Some(_)) => usize::MAX,
         (FlowMode::Differentiable(d), None) => d.start_iter,
         (FlowMode::NetWeighting(n), None) => n.start_iter,
+        (FlowMode::PathExtraction(p), None) => p.start_iter,
     };
 
     // A warm start re-enters λ low (auto-balance ratio below) to rebuild a
@@ -792,6 +851,12 @@ fn run_flow_fine(
     )?;
     let mut weighter = match mode {
         FlowMode::NetWeighting(cfg) => Some(NetWeighter::new(&wl_model, cfg)),
+        _ => None,
+    };
+    let mut path_weighter = match mode {
+        FlowMode::PathExtraction(cfg) => {
+            Some(PathWeighter::new(&work.netlist, &wl_model, cfg))
+        }
         _ => None,
     };
     // Per-cell preconditioner ingredients.
@@ -969,9 +1034,13 @@ fn run_flow_fine(
         // weighter's weights when both mechanisms are on).
         let wa_gamma = (bin_w * (0.1 + 8.0 * overflow)).max(1e-3);
         let sp = obs.start(Phase::WirelengthGrad);
+        let timing_weights = weighter
+            .as_ref()
+            .map(NetWeighter::weights)
+            .or_else(|| path_weighter.as_ref().map(PathWeighter::weights));
         if let Some(rs) = route.as_mut().filter(|rs| rs.boosted) {
             rs.combined.clear();
-            match weighter.as_ref().map(NetWeighter::weights) {
+            match timing_weights {
                 Some(w) => rs
                     .combined
                     .extend(w.iter().zip(&rs.boost).map(|(a, b)| a * b)),
@@ -980,7 +1049,7 @@ fn run_flow_fine(
         }
         let weights = match route.as_ref() {
             Some(rs) if rs.boosted => Some(rs.combined.as_slice()),
-            _ => weighter.as_ref().map(NetWeighter::weights),
+            _ => timing_weights,
         };
         let wl_value = wl_model.wa_gradient_into(
             &vx,
@@ -1197,6 +1266,59 @@ fn run_flow_fine(
                     .expect("weighter exists in net-weighting mode")
                     .update(&work.netlist, &wl_model, &analysis);
                 obs.stop(Phase::NetWeight, sp);
+                traced_wns = analysis.wns();
+                traced_tns = analysis.tns();
+                prev = Some(analysis);
+            }
+            FlowMode::PathExtraction(pcfg)
+                if timing_active
+                    && (iter - timing_start) % pcfg.extract_period.max(1) == 0 =>
+            {
+                let f = forest.as_ref().expect("forest built when timing is active");
+                let sp = obs.start(Phase::StaForward);
+                // Path extraction reads only arrival times and endpoint
+                // slacks, so no RAT sweep runs on either path: the
+                // incremental analysis skips it (`recompute_rat = false`)
+                // and the full analysis is forward-only.
+                let analysis = match prev.take() {
+                    Some(p)
+                        if config.incremental_timing
+                            && p.gamma == 0.0
+                            && inc.dirty_fraction(f.len())
+                                <= config.incremental_fallback_frac =>
+                    {
+                        obs.add(Counter::StaIncremental, 1);
+                        let a = timer.analyze_incremental_into(
+                            &work.netlist,
+                            f,
+                            &p,
+                            &inc.moved_cells,
+                            false,
+                            &mut scratch,
+                        );
+                        scratch.recycle(p);
+                        a
+                    }
+                    p => {
+                        obs.add(Counter::StaFull, 1);
+                        if config.incremental_timing && p.is_some() {
+                            obs.add(Counter::StaFallback, 1);
+                        }
+                        if let Some(p) = p {
+                            scratch.recycle(p);
+                        }
+                        timer.analyze_no_rat_into(&work.netlist, f, &mut scratch)
+                    }
+                };
+                inc.mark_analyzed();
+                obs.stop(Phase::StaForward, sp);
+                let sp = obs.start(Phase::PathExtract);
+                path_weighter
+                    .as_mut()
+                    .expect("path weighter exists in path-extraction mode")
+                    .update(&work.netlist, &timer, &analysis);
+                obs.stop(Phase::PathExtract, sp);
+                obs.add(Counter::PathExtractions, 1);
                 traced_wns = analysis.wns();
                 traced_tns = analysis.tns();
                 prev = Some(analysis);

@@ -46,11 +46,13 @@ pub enum Phase {
     Coarsen,
     /// Projecting a coarse solution onto the next finer level's cells.
     Interpolate,
+    /// Top-K critical-path extraction + net-weight transfer (path mode).
+    PathExtract,
 }
 
 impl Phase {
     /// Number of phases (length of every per-phase array).
-    pub const COUNT: usize = 16;
+    pub const COUNT: usize = 17;
 
     /// Every phase, in slot order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -70,6 +72,7 @@ impl Phase {
         Phase::FinalSta,
         Phase::Coarsen,
         Phase::Interpolate,
+        Phase::PathExtract,
     ];
 
     /// Dense slot index of this phase.
@@ -97,6 +100,7 @@ impl Phase {
             Phase::FinalSta => "final_sta",
             Phase::Coarsen => "coarsen",
             Phase::Interpolate => "interpolate",
+            Phase::PathExtract => "path_extract",
         }
     }
 
@@ -116,6 +120,7 @@ impl Phase {
                 | Phase::NetWeight
                 | Phase::TraceSta
                 | Phase::FinalSta
+                | Phase::PathExtract
         )
     }
 }
@@ -153,7 +158,8 @@ mod tests {
                 Phase::StaBackward,
                 Phase::NetWeight,
                 Phase::TraceSta,
-                Phase::FinalSta
+                Phase::FinalSta,
+                Phase::PathExtract
             ]
         );
     }

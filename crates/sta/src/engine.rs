@@ -513,14 +513,14 @@ impl Timer {
     /// only its connectivity is read — pin positions are baked into `forest`.
     pub fn analyze(&self, nl: &Netlist, forest: &SteinerForest) -> Analysis {
         let mut scratch = AnalysisScratch::new();
-        self.run_forward_into(nl, forest, 0.0, &mut scratch)
+        self.run_forward_into(nl, forest, 0.0, true, &mut scratch)
     }
 
     /// Smoothed analysis: LSE aggregation at the configured γ; feed this to
     /// [`Timer::gradients`].
     pub fn analyze_smoothed(&self, nl: &Netlist, forest: &SteinerForest) -> Analysis {
         let mut scratch = AnalysisScratch::new();
-        self.run_forward_into(nl, forest, self.config.gamma, &mut scratch)
+        self.run_forward_into(nl, forest, self.config.gamma, true, &mut scratch)
     }
 
     /// [`Timer::analyze`] drawing every buffer from `scratch` — the
@@ -531,7 +531,7 @@ impl Timer {
         forest: &SteinerForest,
         scratch: &mut AnalysisScratch,
     ) -> Analysis {
-        self.run_forward_into(nl, forest, 0.0, scratch)
+        self.run_forward_into(nl, forest, 0.0, true, scratch)
     }
 
     /// [`Timer::analyze_smoothed`] drawing every buffer from `scratch`.
@@ -541,19 +541,38 @@ impl Timer {
         forest: &SteinerForest,
         scratch: &mut AnalysisScratch,
     ) -> Analysis {
-        self.run_forward_into(nl, forest, self.config.gamma, scratch)
+        self.run_forward_into(nl, forest, self.config.gamma, true, scratch)
+    }
+
+    /// Exact forward analysis that *skips* the backward RAT sweep — the
+    /// analysis half of the path-extraction timing mode. Endpoint slacks
+    /// (and therefore WNS/TNS and path extraction, which read only arrival
+    /// times and endpoint slacks) are identical to [`Timer::analyze_into`];
+    /// [`Analysis::pin_slack`] on non-endpoint pins returns `f64::INFINITY`
+    /// because no RATs were propagated. Skipping the sweep removes the one
+    /// remaining whole-graph backward pass from the periodic analysis.
+    pub fn analyze_no_rat_into(
+        &self,
+        nl: &Netlist,
+        forest: &SteinerForest,
+        scratch: &mut AnalysisScratch,
+    ) -> Analysis {
+        self.run_forward_into(nl, forest, 0.0, false, scratch)
     }
 
     /// Full forward analysis (stages 2–4 of Fig. 3): Elmore over all nets,
     /// then a rayon-parallel level-synchronous sweep. The netlist is
     /// implicit in the forest (pin positions were baked into the trees), but
     /// arc lookups still need the structural netlist; the caller guarantees
-    /// it matches the one used at construction.
+    /// it matches the one used at construction. `with_rat = false` leaves
+    /// every RAT at `f64::INFINITY` (consumers that never read per-pin
+    /// slacks, like path extraction, skip the backward sweep entirely).
     fn run_forward_into(
         &self,
         nl: &Netlist,
         forest: &SteinerForest,
         gamma: f64,
+        with_rat: bool,
         scratch: &mut AnalysisScratch,
     ) -> Analysis {
         let nl_pins = self.pin_node_in_net.len();
@@ -600,7 +619,9 @@ impl Timer {
         let mut hold_slack = scratch.take_filled(nl_pins, f64::INFINITY);
         self.compute_slacks_into(nl, &at, &at_early, &slew, &mut slack, &mut hold_slack);
         let mut rat = scratch.take_filled(nl_pins, f64::INFINITY);
-        self.compute_rat_into(nl, &elmore, &at, &slew, &slack, &mut rat);
+        if with_rat {
+            self.compute_rat_into(nl, &elmore, &at, &slew, &slack, &mut rat);
+        }
 
         Analysis {
             at,

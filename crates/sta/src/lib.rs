@@ -33,6 +33,16 @@
 //! delay arcs and the per-net pin capacitances are stored in flat CSR form
 //! (offsets + one contiguous data array) rather than nested `Vec`s.
 //!
+//! # Top-K critical-path extraction
+//!
+//! As a cheaper alternative to back-propagating through every timing arc,
+//! [`Timer::extract_paths_into`] traces the K worst endpoints back through
+//! worst-arrival predecessors into a [`PathSet`] — deduplicating shared
+//! prefixes and emitting per-pin criticality weights — using only a forward
+//! analysis (see [`Timer::analyze_no_rat_into`], which also skips the
+//! backward RAT sweep). Like the rest of the hot path, extraction into a
+//! caller-owned [`PathScratch`] is allocation-free at steady state.
+//!
 //! The main entry point is [`Timer`]:
 //!
 //! ```
@@ -63,6 +73,7 @@ mod elmore;
 mod engine;
 mod error;
 mod graph;
+mod paths;
 mod report;
 mod smoothing;
 
@@ -73,6 +84,7 @@ pub use engine::{
 };
 pub use error::StaError;
 pub use graph::{PinRole, TimingGraph};
+pub use paths::{PathScratch, PathSet};
 pub use report::{PathPoint, SlackHistogram, TimingReport};
 pub use smoothing::{
     lse_max, lse_max_weights, lse_max_weights_into, lse_min, lse_min_weights,

@@ -1,7 +1,7 @@
 //! Timing reports: critical-path extraction and slack summaries.
 
 use crate::engine::{Analysis, Timer};
-use crate::graph::PinRole;
+use crate::paths::worst_fanin;
 use dtp_netlist::{Netlist, PinId};
 use std::fmt;
 
@@ -121,6 +121,11 @@ pub struct TimingReport {
 
 impl TimingReport {
     /// Builds a report from an (ideally exact) analysis.
+    ///
+    /// A design with no constrained endpoints (e.g. a coarse multi-level
+    /// proxy whose synthetic cluster classes carry no arcs) reports
+    /// `WNS = 0.0`, not `+inf`. The worst endpoint is selected
+    /// deterministically: slack ties are broken by the smaller [`PinId`].
     pub fn new(timer: &Timer, nl: &Netlist, analysis: &Analysis) -> TimingReport {
         let endpoints = analysis.endpoints();
         let mut worst: Option<PinId> = None;
@@ -129,7 +134,7 @@ impl TimingReport {
         let mut violations = 0;
         for &p in endpoints {
             let s = analysis.slack[p.index()];
-            if s < wns {
+            if s < wns || (s == wns && worst.is_none_or(|w| p < w)) {
                 wns = s;
                 worst = Some(p);
             }
@@ -137,6 +142,9 @@ impl TimingReport {
                 tns += s;
                 violations += 1;
             }
+        }
+        if worst.is_none() {
+            wns = 0.0;
         }
         let critical_path = worst
             .map(|p| trace_path(timer, nl, analysis, p))
@@ -168,11 +176,11 @@ impl fmt::Display for TimingReport {
 }
 
 /// Traces the most critical path from `endpoint` back to a launch point by
-/// following, at every merge, the fan-in whose arrival dominates.
+/// following, at every merge, the fan-in whose arrival dominates (the same
+/// [`worst_fanin`] step the top-K extractor uses).
 fn trace_path(timer: &Timer, nl: &Netlist, analysis: &Analysis, endpoint: PinId) -> Vec<PathPoint> {
     let mut rev = Vec::new();
     let mut cur = endpoint;
-    let graph = timer.graph();
     let mut guard = 0usize;
     loop {
         rev.push(PathPoint {
@@ -185,42 +193,9 @@ fn trace_path(timer: &Timer, nl: &Netlist, analysis: &Analysis, endpoint: PinId)
         if guard > nl.num_pins() {
             break; // defensive: malformed graphs cannot loop forever
         }
-        match graph.role(cur) {
-            PinRole::PrimaryInput | PinRole::RegisterOutput => break,
-            PinRole::CombInput | PinRole::RegisterData | PinRole::PrimaryOutput => {
-                let Some(net) = nl.pin(cur).net() else { break };
-                cur = nl.net(net).pins()[0];
-            }
-            PinRole::CombOutput => {
-                // Choose the fan-in with the largest (AT + arc delay).
-                let pin = nl.pin(cur);
-                let cell = nl.cell(pin.cell());
-                let cb = &timer.binding().classes[cell.class().index()];
-                let load = pin
-                    .net()
-                    .and_then(|n| analysis.elmore(n))
-                    .map_or(0.0, |e| e.root_load());
-                let mut best: Option<(f64, PinId)> = None;
-                for &(arc_idx, from_cp) in cb.delay_arcs(pin.class_pin().index()) {
-                    let from = cell.pins()[from_cp as usize];
-                    if matches!(graph.role(from), PinRole::Unconnected | PinRole::Clock) {
-                        continue;
-                    }
-                    let ev = timer
-                        .binding()
-                        .arc(arc_idx as usize)
-                        .eval(analysis.slew[from.index()], load);
-                    let a = analysis.at[from.index()] + ev.delay;
-                    if best.is_none_or(|(b, _)| a > b) {
-                        best = Some((a, from));
-                    }
-                }
-                match best {
-                    Some((_, from)) => cur = from,
-                    None => break,
-                }
-            }
-            PinRole::Clock | PinRole::Unconnected => break,
+        match worst_fanin(timer, nl, analysis, cur) {
+            Some(from) => cur = from,
+            None => break,
         }
     }
     rev.reverse();
