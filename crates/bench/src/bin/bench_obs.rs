@@ -10,8 +10,9 @@
 //!    `Observer` traffic (iter_begin, spans, counters, iter_end + JSONL
 //!    event) must allocate nothing, measured with a counting global
 //!    allocator.
-//! 3. **Sink validity**: the emitted `metrics.json` and JSONL events parse
-//!    back with `dtp_obs::json::parse`.
+//! 3. **Sink validity**: the emitted `metrics.json` parses back with
+//!    `dtp_obs::json::parse`, and the v2 `iter`/`span` trace records pass
+//!    both the generic parser and the strict schema reader.
 //!
 //! Usage: `cargo run --release -p dtp-bench --bin bench_obs [-- cells]`
 //! (default 2000). `--smoke` runs a tiny configuration for CI.
@@ -162,11 +163,15 @@ fn main() {
         obs.add(Counter::StaIncremental, 1);
         obs.iter_end(IterEvent {
             iter,
+            level: 0,
             wl: 1234.5,
             hpwl: f64::NAN,
             overflow: 0.42,
+            lambda: 1e-4,
+            step: 5.0,
             wns: f64::NAN,
             tns: f64::NAN,
+            timing: false,
         });
         iter += 1;
     });
@@ -200,15 +205,25 @@ fn main() {
         .and_then(|v| v.as_f64())
         .expect("sta_seconds present");
     let mut event = Vec::new();
-    dtp_obs::write_jsonl_event(
-        &mut event,
-        &IterEvent { iter: 7, wl: 1.0, hpwl: f64::NAN, overflow: 0.5, wns: -3.0, tns: -9.0 },
-        &[1; Phase::COUNT],
-        &[1; Counter::COUNT],
-    )
-    .unwrap();
+    let ev = IterEvent {
+        iter: 7,
+        level: 0,
+        wl: 1.0,
+        hpwl: f64::NAN,
+        overflow: 0.5,
+        lambda: 2e-4,
+        step: 4.5,
+        wns: -3.0,
+        tns: -9.0,
+        timing: true,
+    };
+    dtp_obs::write_iter_record(&mut event, &ev, &[1; Counter::COUNT]).unwrap();
+    dtp_obs::write_span_record(&mut event, 7, 0, &[1; Phase::COUNT]).unwrap();
     let event_text = String::from_utf8(event).unwrap();
-    json::parse(event_text.trim_end()).expect("JSONL event must parse");
+    for line in event_text.lines() {
+        json::parse(line).expect("v2 JSONL record must parse");
+        dtp_obs::trace::parse_record(line).expect("v2 record passes the strict reader");
+    }
     let _ = writeln!(out, "  \"metrics_json_valid\": true,");
     let _ = writeln!(out, "  \"sta_seconds\": {sta_s:.4}");
     let _ = writeln!(out, "}}");

@@ -220,6 +220,11 @@ fn main() {
     let _ = writeln!(out, "  \"schema\": \"dtp-bench-scale-v1\",");
     let _ = writeln!(out, "  \"smoke\": {smoke},");
     let _ = writeln!(out, "  \"host_threads\": {host_threads},");
+    let _ = writeln!(
+        out,
+        "  \"pool_widths\": [{}],",
+        widths.iter().map(|w| w.to_string()).collect::<Vec<_>>().join(", ")
+    );
     let _ = writeln!(out, "  \"max_iters\": {max_iters},");
     let _ = writeln!(out, "  \"runs\": [");
 

@@ -15,6 +15,13 @@
 //!           [--observe] [--profile] [--metrics-out file] [--trace-out file]
 //!           [--log-level error|warn|info|debug]
 //! dtp proxy <sbN> [scale_denom]             print statistics of a superblue proxy
+//! dtp trace validate <trace.jsonl>          schema-checked parse of a v2 trace
+//! dtp trace diff <a.jsonl> <b.jsonl>
+//!           [--abs F] [--rel F] [--field name:abs:rel]
+//!                                           tolerance-aware trace comparison
+//! dtp trace replay <trace.jsonl> [--design spec] [--out file]
+//!                                           re-run the recorded flow, diff bit-for-bit
+//! dtp trace report <trace.jsonl>            phase/level/convergence forensics
 //! ```
 //!
 //! Mode selection is unified under `--mode`; the historical short names
@@ -35,6 +42,7 @@
 
 use dtp_core::{run_flow_observed, FlowConfig, FlowMode, PathExtractConfig};
 use dtp_obs::{self as obs, Level, Observer, QorSummary};
+use dtp_trace::{Tolerances, Trace};
 use dtp_liberty::synth::synthetic_pdk;
 use dtp_netlist::generate::{generate, superblue_proxy, GeneratorConfig};
 use dtp_netlist::{bookshelf, Design, NetlistStats, Sdc};
@@ -51,8 +59,9 @@ fn main() -> ExitCode {
         Some("sta") => cmd_sta(&args[1..]),
         Some("place") => cmd_place(&args[1..]),
         Some("proxy") => cmd_proxy(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         _ => {
-            eprintln!("usage: dtp <gen|sta|place|proxy> ... (see --help in the crate docs)");
+            eprintln!("usage: dtp <gen|sta|place|proxy|trace> ... (see --help in the crate docs)");
             return ExitCode::from(2);
         }
     };
@@ -375,6 +384,9 @@ fn cmd_place(args: &[String]) -> CliResult {
     }
     let lib = synthetic_pdk();
     let mut observer = Observer::new(config.observe);
+    // Recorded in the trace header so `dtp trace replay` can reload the
+    // same design without being told where it came from.
+    observer.set_design_source(spec);
     if let Some(path) = &trace_out {
         let file = std::fs::File::create(path)
             .map_err(|e| format!("cannot create --trace-out {path}: {e}"))?;
@@ -467,5 +479,233 @@ fn cmd_proxy(args: &[String]) -> CliResult {
         design.constraints.clock_period,
         design.utilization()
     );
+    Ok(())
+}
+
+/// An in-memory trace sink shared between the observer (which owns a boxed
+/// writer) and the replay driver (which reads the bytes back afterwards).
+#[derive(Clone, Default)]
+struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().expect("trace buffer poisoned").extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl SharedBuf {
+    fn take(&self) -> Vec<u8> {
+        std::mem::take(&mut *self.0.lock().expect("trace buffer poisoned"))
+    }
+}
+
+fn load_trace(path: &str) -> Result<Trace, Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Trace::parse(&text).map_err(|e| format!("{path}: {e}").into())
+}
+
+const TRACE_USAGE: &str = "usage: dtp trace <validate|diff|replay|report> ...\n\
+    dtp trace validate <trace.jsonl>\n\
+    dtp trace diff <a.jsonl> <b.jsonl> [--abs F] [--rel F] [--field name:abs:rel]\n\
+    dtp trace replay <trace.jsonl> [--design spec] [--out file]\n\
+    dtp trace report <trace.jsonl>";
+
+fn cmd_trace(args: &[String]) -> CliResult {
+    match args.first().map(String::as_str) {
+        Some("validate") => cmd_trace_validate(&args[1..]),
+        Some("diff") => cmd_trace_diff(&args[1..]),
+        Some("replay") => cmd_trace_replay(&args[1..]),
+        Some("report") => cmd_trace_report(&args[1..]),
+        _ => Err(TRACE_USAGE.into()),
+    }
+}
+
+fn cmd_trace_validate(args: &[String]) -> CliResult {
+    let [path] = args else {
+        return Err("usage: dtp trace validate <trace.jsonl>".into());
+    };
+    let t = load_trace(path)?;
+    println!(
+        "{path}: valid {} trace — design {} ({} cells), mode {}, seed {}, \
+         {} iteration record(s), {} span record(s), levels {:?}",
+        t.header.schema,
+        t.header.design,
+        t.header.cells,
+        t.header.mode,
+        t.header.seed,
+        t.iters.len(),
+        t.spans.len(),
+        t.levels()
+    );
+    Ok(())
+}
+
+fn cmd_trace_diff(args: &[String]) -> CliResult {
+    let (Some(path_a), Some(path_b)) = (args.first(), args.get(1)) else {
+        return Err(
+            "usage: dtp trace diff <a.jsonl> <b.jsonl> [--abs F] [--rel F] \
+             [--field name:abs:rel]"
+                .into(),
+        );
+    };
+    let mut tol = Tolerances::zero();
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--abs" => {
+                tol.default_abs = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("option `--abs` needs a numeric value")?;
+                i += 2;
+            }
+            "--rel" => {
+                tol.default_rel = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("option `--rel` needs a numeric value")?;
+                i += 2;
+            }
+            "--field" => {
+                let spec = args.get(i + 1).ok_or("option `--field` needs name:abs:rel")?;
+                let parts: Vec<&str> = spec.split(':').collect();
+                let [name, abs, rel] = parts[..] else {
+                    return Err(format!("bad --field spec `{spec}` (want name:abs:rel)").into());
+                };
+                tol.per_field.push((
+                    name.to_string(),
+                    abs.parse().map_err(|_| format!("bad abs in `{spec}`"))?,
+                    rel.parse().map_err(|_| format!("bad rel in `{spec}`"))?,
+                ));
+                i += 2;
+            }
+            other => return Err(format!("unknown option `{other}`").into()),
+        }
+    }
+    let a = load_trace(path_a)?;
+    let b = load_trace(path_b)?;
+    let report = dtp_trace::diff(&a, &b, &tol);
+    print!("{}", report.render());
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!("traces diverge: {path_a} vs {path_b}").into())
+    }
+}
+
+fn cmd_trace_replay(args: &[String]) -> CliResult {
+    let Some(path) = args.first() else {
+        return Err("usage: dtp trace replay <trace.jsonl> [--design spec] [--out file]".into());
+    };
+    let mut design_override: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--design" => {
+                design_override =
+                    Some(args.get(i + 1).ok_or("option `--design` needs a design spec")?.clone());
+                i += 2;
+            }
+            "--out" => {
+                out_path =
+                    Some(args.get(i + 1).ok_or("option `--out` needs a file path")?.clone());
+                i += 2;
+            }
+            "--log-level" => {
+                let name = args.get(i + 1).ok_or("option `--log-level` needs a level")?;
+                let level = Level::parse(name)
+                    .ok_or_else(|| format!("unknown log level `{name}` (error|warn|info|debug)"))?;
+                obs::log::set_level(level);
+                i += 2;
+            }
+            other => return Err(format!("unknown option `{other}`").into()),
+        }
+    }
+    let recorded = load_trace(path)?;
+    // Rebuild the exact run configuration from the header. Both
+    // reconstructions are strict: a trace from a different binary version
+    // fails loudly here instead of replaying with silently-defaulted knobs.
+    let mut config = FlowConfig::from_trace_fields(&recorded.header.config)
+        .map_err(|e| format!("{path}: header config: {e}"))?;
+    let mode = FlowMode::from_trace(&recorded.header.mode, &recorded.header.mode_config)
+        .map_err(|e| format!("{path}: header mode: {e}"))?;
+    config.observe = true; // replay must record, whatever the original run logged
+    let spec = match design_override.or_else(|| recorded.header.source.clone()) {
+        Some(s) => s,
+        None => {
+            return Err(format!(
+                "{path}: trace header has no design source; pass --design <spec>"
+            )
+            .into())
+        }
+    };
+    let mut design = load_design(&spec)?;
+    if design.constraints.clock_port.is_none() && design.constraints.clock_period >= 1000.0 {
+        // Mirror cmd_place's Bookshelf fallback so replays of `dtp place`
+        // runs see the same constraints.
+        design.constraints = Sdc::with_period(500.0);
+    }
+    // Design fingerprint gate: replaying against the wrong netlist would
+    // produce a wall of metric diffs; fail with the real cause instead.
+    let (cells, nets, pins) = (
+        design.netlist.num_cells() as u64,
+        design.netlist.num_nets() as u64,
+        design.netlist.num_pins() as u64,
+    );
+    if (cells, nets, pins) != (recorded.header.cells, recorded.header.nets, recorded.header.pins)
+    {
+        return Err(format!(
+            "design fingerprint mismatch: trace records {} cells / {} nets / {} pins, \
+             `{spec}` has {cells} / {nets} / {pins}",
+            recorded.header.cells, recorded.header.nets, recorded.header.pins
+        )
+        .into());
+    }
+    obs::info!(
+        "replaying {} (mode {}, seed {}, {} recorded iterations) on `{spec}`",
+        recorded.header.design,
+        recorded.header.mode,
+        recorded.header.seed,
+        recorded.iters.len()
+    );
+    let lib = synthetic_pdk();
+    let buf = SharedBuf::default();
+    let mut observer = Observer::new(true);
+    observer.set_design_source(&spec);
+    observer.set_trace_writer(Box::new(buf.clone()));
+    let r = run_flow_observed(&design, &lib, mode, &config, &mut observer)?;
+    println!("{r}");
+    let bytes = buf.take();
+    if let Some(out) = &out_path {
+        std::fs::write(out, &bytes).map_err(|e| format!("cannot write --out {out}: {e}"))?;
+        obs::info!("wrote {out}");
+    }
+    let fresh = Trace::parse(std::str::from_utf8(&bytes)?)
+        .map_err(|e| format!("replayed trace: {e}"))?;
+    if fresh.canonical_bytes() == recorded.canonical_bytes() {
+        println!(
+            "replay matches: {} iteration record(s) bit-identical to {path}",
+            fresh.iters.len()
+        );
+        return Ok(());
+    }
+    // Not bit-identical — run the structured diff to name the first
+    // diverging iteration and field.
+    let report = dtp_trace::diff(&recorded, &fresh, &Tolerances::zero());
+    print!("{}", report.render());
+    Err(format!("replay diverges from {path}").into())
+}
+
+fn cmd_trace_report(args: &[String]) -> CliResult {
+    let [path] = args else {
+        return Err("usage: dtp trace report <trace.jsonl>".into());
+    };
+    let t = load_trace(path)?;
+    print!("{}", dtp_trace::report(&t));
     Ok(())
 }

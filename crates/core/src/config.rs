@@ -1,5 +1,10 @@
-//! Flow configuration: the knobs of §4 of the paper.
+//! Flow configuration: the knobs of §4 of the paper, plus the trace-header
+//! round trip: every config serializes into the v2 trace header's generic
+//! key/value fields and reconstructs from them (strictly — unknown or
+//! missing keys are errors), which is what makes `dtp trace replay` work
+//! from nothing but a recorded trace.
 
+use dtp_obs::json::Value;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the differentiable timing objective (the paper's method).
@@ -49,6 +54,25 @@ impl From<WireModelChoice> for dtp_sta::WireModel {
         match w {
             WireModelChoice::Elmore => dtp_sta::WireModel::Elmore,
             WireModelChoice::D2m => dtp_sta::WireModel::D2m,
+        }
+    }
+}
+
+impl WireModelChoice {
+    /// Stable lowercase name used in the trace header.
+    pub fn name(self) -> &'static str {
+        match self {
+            WireModelChoice::Elmore => "elmore",
+            WireModelChoice::D2m => "d2m",
+        }
+    }
+
+    /// Inverse of [`WireModelChoice::name`].
+    pub fn from_name(name: &str) -> Option<WireModelChoice> {
+        match name {
+            "elmore" => Some(WireModelChoice::Elmore),
+            "d2m" => Some(WireModelChoice::D2m),
+            _ => None,
         }
     }
 }
@@ -171,6 +195,119 @@ impl FlowMode {
             FlowMode::NetWeighting(_) => "NetWeighting",
             FlowMode::Differentiable(_) => "Ours",
             FlowMode::PathExtraction(_) => "PathExtract",
+        }
+    }
+
+    /// Canonical lowercase mode name recorded in the trace header (also the
+    /// CLI `--mode` spelling).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FlowMode::Wirelength => "wirelength",
+            FlowMode::NetWeighting(_) => "net-weighting",
+            FlowMode::Differentiable(_) => "differentiable",
+            FlowMode::PathExtraction(_) => "path-extraction",
+        }
+    }
+
+    /// The mode's hyperparameters as ordered trace-header fields (empty for
+    /// the wirelength-only mode).
+    pub fn trace_fields(&self) -> Vec<(String, Value)> {
+        let n = |key: &str, v: f64| (key.to_string(), Value::Num(v));
+        let u = |key: &str, v: usize| (key.to_string(), Value::Num(v as f64));
+        match self {
+            FlowMode::Wirelength => Vec::new(),
+            FlowMode::NetWeighting(c) => vec![
+                n("momentum", c.momentum),
+                n("max_boost", c.max_boost),
+                u("sta_period", c.sta_period),
+                u("start_iter", c.start_iter),
+            ],
+            FlowMode::Differentiable(c) => vec![
+                n("gamma", c.gamma),
+                n("t1", c.t1),
+                n("t2", c.t2),
+                n("growth", c.growth),
+                u("start_iter", c.start_iter),
+                u("steiner_rebuild_period", c.steiner_rebuild_period),
+                n("grad_norm_target", c.grad_norm_target),
+                (
+                    "wire_model".to_string(),
+                    Value::Str(c.wire_model.name().to_string()),
+                ),
+            ],
+            FlowMode::PathExtraction(c) => vec![
+                u("top_k", c.top_k),
+                u("extract_period", c.extract_period),
+                n("path_decay", c.path_decay),
+                n("pin_weight_cap", c.pin_weight_cap),
+                u("start_iter", c.start_iter),
+            ],
+        }
+    }
+
+    /// Reconstructs a mode from its trace-header name and fields, strictly:
+    /// unknown names, unknown keys, missing keys, and wrong value types are
+    /// all errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending mode name or field.
+    pub fn from_trace(name: &str, fields: &[(String, Value)]) -> Result<FlowMode, String> {
+        match name {
+            "wirelength" => {
+                reject_unknown(fields, &[])?;
+                Ok(FlowMode::Wirelength)
+            }
+            "net-weighting" => {
+                reject_unknown(fields, &["momentum", "max_boost", "sta_period", "start_iter"])?;
+                Ok(FlowMode::NetWeighting(NetWeightConfig {
+                    momentum: num(fields, "momentum")?,
+                    max_boost: num(fields, "max_boost")?,
+                    sta_period: int(fields, "sta_period")?,
+                    start_iter: int(fields, "start_iter")?,
+                }))
+            }
+            "differentiable" => {
+                reject_unknown(
+                    fields,
+                    &[
+                        "gamma",
+                        "t1",
+                        "t2",
+                        "growth",
+                        "start_iter",
+                        "steiner_rebuild_period",
+                        "grad_norm_target",
+                        "wire_model",
+                    ],
+                )?;
+                let wire_model = string(fields, "wire_model")?;
+                Ok(FlowMode::Differentiable(DiffTimingConfig {
+                    gamma: num(fields, "gamma")?,
+                    t1: num(fields, "t1")?,
+                    t2: num(fields, "t2")?,
+                    growth: num(fields, "growth")?,
+                    start_iter: int(fields, "start_iter")?,
+                    steiner_rebuild_period: int(fields, "steiner_rebuild_period")?,
+                    grad_norm_target: num(fields, "grad_norm_target")?,
+                    wire_model: WireModelChoice::from_name(wire_model)
+                        .ok_or_else(|| format!("unknown wire model `{wire_model}`"))?,
+                }))
+            }
+            "path-extraction" => {
+                reject_unknown(
+                    fields,
+                    &["top_k", "extract_period", "path_decay", "pin_weight_cap", "start_iter"],
+                )?;
+                Ok(FlowMode::PathExtraction(PathExtractConfig {
+                    top_k: int(fields, "top_k")?,
+                    extract_period: int(fields, "extract_period")?,
+                    path_decay: num(fields, "path_decay")?,
+                    pin_weight_cap: num(fields, "pin_weight_cap")?,
+                    start_iter: int(fields, "start_iter")?,
+                }))
+            }
+            other => Err(format!("unknown flow mode `{other}`")),
         }
     }
 }
@@ -303,6 +440,190 @@ pub enum LegalizerChoice {
     Tetris,
 }
 
+impl LegalizerChoice {
+    /// Stable lowercase name used in the trace header.
+    pub fn name(self) -> &'static str {
+        match self {
+            LegalizerChoice::Abacus => "abacus",
+            LegalizerChoice::Tetris => "tetris",
+        }
+    }
+
+    /// Inverse of [`LegalizerChoice::name`].
+    pub fn from_name(name: &str) -> Option<LegalizerChoice> {
+        match name {
+            "abacus" => Some(LegalizerChoice::Abacus),
+            "tetris" => Some(LegalizerChoice::Tetris),
+            _ => None,
+        }
+    }
+}
+
+/// The keys of [`FlowConfig::trace_fields`], in emission order.
+const CONFIG_KEYS: [&str; 28] = [
+    "max_iters",
+    "stop_overflow",
+    "bins",
+    "target_density",
+    "density_fft",
+    "lambda_init",
+    "lambda_growth",
+    "trace_timing_every",
+    "seed",
+    "detail_passes",
+    "legalizer",
+    "incremental_timing",
+    "dirty_threshold",
+    "topo_dirty_frac",
+    "rsmt_tables",
+    "rsmt_table_max_degree",
+    "incremental_fallback_frac",
+    "route_aware",
+    "route_grid",
+    "route_capacity",
+    "route_weight",
+    "inflation_max",
+    "route_update_period",
+    "observe",
+    "threads",
+    "multilevel",
+    "cluster_ratio",
+    "levels",
+];
+
+fn lookup<'a>(fields: &'a [(String, Value)], key: &str) -> Result<&'a Value, String> {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing config field `{key}`"))
+}
+
+fn num(fields: &[(String, Value)], key: &str) -> Result<f64, String> {
+    lookup(fields, key)?
+        .as_f64()
+        .ok_or_else(|| format!("config field `{key}` is not a number"))
+}
+
+fn int(fields: &[(String, Value)], key: &str) -> Result<usize, String> {
+    let v = num(fields, key)?;
+    if v < 0.0 || v.fract() != 0.0 || v > usize::MAX as f64 {
+        return Err(format!("config field `{key}` is not a non-negative integer"));
+    }
+    Ok(v as usize)
+}
+
+fn boolean(fields: &[(String, Value)], key: &str) -> Result<bool, String> {
+    lookup(fields, key)?
+        .as_bool()
+        .ok_or_else(|| format!("config field `{key}` is not a boolean"))
+}
+
+fn string<'a>(fields: &'a [(String, Value)], key: &str) -> Result<&'a str, String> {
+    lookup(fields, key)?
+        .as_str()
+        .ok_or_else(|| format!("config field `{key}` is not a string"))
+}
+
+fn reject_unknown(fields: &[(String, Value)], known: &[&str]) -> Result<(), String> {
+    for (k, _) in fields {
+        if !known.contains(&k.as_str()) {
+            return Err(format!("unknown config field `{k}`"));
+        }
+    }
+    Ok(())
+}
+
+impl FlowConfig {
+    /// Serializes every knob into ordered trace-header fields. The seed is
+    /// a string so the full `u64` range survives the f64 number pipeline;
+    /// enums use their stable lowercase names.
+    pub fn trace_fields(&self) -> Vec<(String, Value)> {
+        let n = |key: &str, v: f64| (key.to_string(), Value::Num(v));
+        let u = |key: &str, v: usize| (key.to_string(), Value::Num(v as f64));
+        let b = |key: &str, v: bool| (key.to_string(), Value::Bool(v));
+        vec![
+            u("max_iters", self.max_iters),
+            n("stop_overflow", self.stop_overflow),
+            u("bins", self.bins),
+            n("target_density", self.target_density),
+            b("density_fft", self.density_fft),
+            n("lambda_init", self.lambda_init),
+            n("lambda_growth", self.lambda_growth),
+            u("trace_timing_every", self.trace_timing_every),
+            ("seed".to_string(), Value::Str(self.seed.to_string())),
+            u("detail_passes", self.detail_passes),
+            (
+                "legalizer".to_string(),
+                Value::Str(self.legalizer.name().to_string()),
+            ),
+            b("incremental_timing", self.incremental_timing),
+            n("dirty_threshold", self.dirty_threshold),
+            n("topo_dirty_frac", self.topo_dirty_frac),
+            b("rsmt_tables", self.rsmt_tables),
+            u("rsmt_table_max_degree", self.rsmt_table_max_degree),
+            n("incremental_fallback_frac", self.incremental_fallback_frac),
+            b("route_aware", self.route_aware),
+            u("route_grid", self.route_grid),
+            n("route_capacity", self.route_capacity),
+            n("route_weight", self.route_weight),
+            n("inflation_max", self.inflation_max),
+            u("route_update_period", self.route_update_period),
+            b("observe", self.observe),
+            u("threads", self.threads),
+            b("multilevel", self.multilevel),
+            n("cluster_ratio", self.cluster_ratio),
+            u("levels", self.levels),
+        ]
+    }
+
+    /// Reconstructs a config from trace-header fields, strictly: every knob
+    /// must be present with the right type, and unknown keys are errors (a
+    /// trace from a newer binary with more knobs must not silently replay
+    /// with defaults for the extras).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field.
+    pub fn from_trace_fields(fields: &[(String, Value)]) -> Result<FlowConfig, String> {
+        reject_unknown(fields, &CONFIG_KEYS)?;
+        let legalizer_name = string(fields, "legalizer")?;
+        Ok(FlowConfig {
+            max_iters: int(fields, "max_iters")?,
+            stop_overflow: num(fields, "stop_overflow")?,
+            bins: int(fields, "bins")?,
+            target_density: num(fields, "target_density")?,
+            density_fft: boolean(fields, "density_fft")?,
+            lambda_init: num(fields, "lambda_init")?,
+            lambda_growth: num(fields, "lambda_growth")?,
+            trace_timing_every: int(fields, "trace_timing_every")?,
+            seed: string(fields, "seed")?
+                .parse()
+                .map_err(|_| "config field `seed` is not a u64 string".to_string())?,
+            detail_passes: int(fields, "detail_passes")?,
+            legalizer: LegalizerChoice::from_name(legalizer_name)
+                .ok_or_else(|| format!("unknown legalizer `{legalizer_name}`"))?,
+            incremental_timing: boolean(fields, "incremental_timing")?,
+            dirty_threshold: num(fields, "dirty_threshold")?,
+            topo_dirty_frac: num(fields, "topo_dirty_frac")?,
+            rsmt_tables: boolean(fields, "rsmt_tables")?,
+            rsmt_table_max_degree: int(fields, "rsmt_table_max_degree")?,
+            incremental_fallback_frac: num(fields, "incremental_fallback_frac")?,
+            route_aware: boolean(fields, "route_aware")?,
+            route_grid: int(fields, "route_grid")?,
+            route_capacity: num(fields, "route_capacity")?,
+            route_weight: num(fields, "route_weight")?,
+            inflation_max: num(fields, "inflation_max")?,
+            route_update_period: int(fields, "route_update_period")?,
+            observe: boolean(fields, "observe")?,
+            threads: int(fields, "threads")?,
+            multilevel: boolean(fields, "multilevel")?,
+            cluster_ratio: num(fields, "cluster_ratio")?,
+            levels: int(fields, "levels")?,
+        })
+    }
+}
+
 impl Default for FlowConfig {
     fn default() -> Self {
         FlowConfig {
@@ -359,6 +680,54 @@ mod tests {
         assert_eq!(FlowMode::net_weighting().label(), "NetWeighting");
         assert_eq!(FlowMode::differentiable().label(), "Ours");
         assert_eq!(FlowMode::path_extraction().label(), "PathExtract");
+    }
+
+    #[test]
+    fn config_trace_fields_round_trip() {
+        let mut cfg = FlowConfig {
+            seed: u64::MAX - 3, // above 2^53: exercises the string encoding
+            legalizer: LegalizerChoice::Tetris,
+            multilevel: true,
+            threads: 4,
+            ..FlowConfig::default()
+        };
+        cfg.lambda_growth = 1.0375;
+        let fields = cfg.trace_fields();
+        assert_eq!(fields.len(), CONFIG_KEYS.len());
+        let back = FlowConfig::from_trace_fields(&fields).expect("round trip");
+        assert_eq!(back, cfg);
+        // Strictness: a missing knob and an unknown knob are both errors.
+        let missing: Vec<_> = fields[1..].to_vec();
+        assert!(FlowConfig::from_trace_fields(&missing).is_err());
+        let mut extra = fields.clone();
+        extra.push(("bogus".to_string(), Value::Bool(true)));
+        assert!(FlowConfig::from_trace_fields(&extra).is_err());
+    }
+
+    #[test]
+    fn mode_trace_fields_round_trip() {
+        for mode in [
+            FlowMode::Wirelength,
+            FlowMode::net_weighting(),
+            FlowMode::differentiable(),
+            FlowMode::path_extraction(),
+            FlowMode::Differentiable(DiffTimingConfig {
+                wire_model: WireModelChoice::D2m,
+                grad_norm_target: 0.25,
+                ..DiffTimingConfig::default()
+            }),
+        ] {
+            let fields = mode.trace_fields();
+            let back = FlowMode::from_trace(mode.name(), &fields).expect("round trip");
+            assert_eq!(back, mode);
+        }
+        assert!(FlowMode::from_trace("bogus", &[]).is_err());
+        // Wirelength mode must carry no fields.
+        assert!(FlowMode::from_trace(
+            "wirelength",
+            &[("gamma".to_string(), Value::Num(1.0))]
+        )
+        .is_err());
     }
 
     #[test]

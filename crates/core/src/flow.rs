@@ -493,11 +493,41 @@ fn run_flow_inner(
     config: &FlowConfig,
     obs: &mut Observer,
 ) -> Result<FlowResult, FlowError> {
+    emit_trace_header(design, mode, config, obs);
     if config.multilevel && config.levels >= 2 && config.cluster_ratio > 1.0 {
         run_flow_multilevel(design, lib, mode, config, obs)
     } else {
         run_flow_fine(design, lib, mode, config, obs, None)
     }
+}
+
+/// Writes the v2 trace header — the run's full identity: mode, config,
+/// seed, thread counts, and the design fingerprint — as the first record of
+/// the JSONL stream. Runs inside the flow's pool scope, so `pool_threads`
+/// reports the width the iterations will actually execute with.
+fn emit_trace_header(design: &Design, mode: FlowMode, config: &FlowConfig, obs: &mut Observer) {
+    if !obs.is_enabled() {
+        return;
+    }
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let header = dtp_obs::TraceHeader {
+        schema: dtp_obs::TRACE_SCHEMA.to_string(),
+        mode: mode.name().to_string(),
+        seed: config.seed,
+        threads: config.threads as u64,
+        pool_threads: rayon::current_num_threads() as u64,
+        host_threads: host_threads as u64,
+        design: design.name.clone(),
+        cells: design.netlist.num_cells() as u64,
+        nets: design.netlist.num_nets() as u64,
+        pins: design.netlist.num_pins() as u64,
+        region: [design.region.xl, design.region.yl, design.region.xh, design.region.yh],
+        clock_period: design.constraints.clock_period,
+        source: obs.design_source().map(str::to_string),
+        config: config.trace_fields(),
+        mode_config: mode.trace_fields(),
+    };
+    obs.emit_header(&header);
 }
 
 /// The multi-level (clustered) V-cycle: coarsen the netlist `levels - 1`
@@ -694,6 +724,10 @@ fn run_coarse_level(
     let mut iterations = 0usize;
     for iter in 0..config.max_iters {
         iterations = iter + 1;
+        obs.iter_begin();
+        obs.add(Counter::Iterations, 1);
+        obs.add(Counter::CoarseIterations, 1);
+
         {
             let (a, b) = opt.positions();
             vx.clear();
@@ -706,6 +740,8 @@ fn run_coarse_level(
         // forest + forward-only analysis at the extraction cadence; the
         // resulting net weights ride in the WA wirelength below until the
         // next extraction.
+        let mut traced_wns = f64::NAN;
+        let mut traced_tns = f64::NAN;
         if let Some((timer, pw, ascratch, period)) = coarse_paths.as_mut() {
             if iter % *period == 0 {
                 work.netlist.set_positions(&vx, &vy);
@@ -721,6 +757,8 @@ fn run_coarse_level(
                 pw.update(&work.netlist, timer, &a);
                 obs.stop(Phase::PathExtract, sp);
                 obs.add(Counter::PathExtractions, 1);
+                traced_wns = a.wns();
+                traced_tns = a.tns();
                 ascratch.recycle(a);
             }
         }
@@ -728,7 +766,15 @@ fn run_coarse_level(
 
         let wa_gamma = (bin_w * (0.1 + 8.0 * overflow)).max(1e-3);
         let sp = obs.start(Phase::WirelengthGrad);
-        wl_model.wa_gradient_into(&vx, &vy, wa_gamma, weights, &mut wl_scratch, &mut gx, &mut gy);
+        let wl_value = wl_model.wa_gradient_into(
+            &vx,
+            &vy,
+            wa_gamma,
+            weights,
+            &mut wl_scratch,
+            &mut gx,
+            &mut gy,
+        );
         obs.stop(Phase::WirelengthGrad, sp);
 
         let sp = obs.start(Phase::DensityGrad);
@@ -759,9 +805,23 @@ fn run_coarse_level(
                     *p = (c + lambda * a).max(1.0);
                 }
             });
-        opt.step(&gx, &gy, &precond);
+        let step = opt.step(&gx, &gy, &precond);
+        let iter_lambda = lambda;
         lambda *= lambda_growth;
         obs.stop(Phase::NesterovStep, sp);
+
+        obs.iter_end(IterEvent {
+            iter: iter as u64,
+            level: level as u32,
+            wl: wl_value,
+            hpwl: f64::NAN,
+            overflow,
+            lambda: iter_lambda,
+            step,
+            wns: traced_wns,
+            tns: traced_tns,
+            timing: coarse_paths.is_some(),
+        });
 
         if iter > COARSE_MIN_ITERS && overflow < stop_overflow {
             break;
@@ -1364,17 +1424,24 @@ fn run_flow_fine(
                     *p = (c + lambda * a).max(1.0);
                 }
             });
-        opt.step(&gx, &gy, &precond);
+        let step = opt.step(&gx, &gy, &precond);
+        // The trace records the λ this iteration's gradient actually used
+        // (post auto-balance, pre growth).
+        let iter_lambda = lambda;
         lambda *= lambda_growth;
         obs.stop(Phase::NesterovStep, sp);
 
         obs.iter_end(IterEvent {
             iter: iter as u64,
+            level: 0,
             wl: wl_value,
             hpwl: iter_hpwl,
             overflow,
+            lambda: iter_lambda,
+            step,
             wns: traced_wns,
             tns: traced_tns,
+            timing: timing_active,
         });
 
         if iter > 30 && overflow < config.stop_overflow {
@@ -1404,10 +1471,14 @@ fn run_flow_fine(
     let sp = obs.start(Phase::Legalize);
     match config.legalizer {
         LegalizerChoice::Abacus => {
-            AbacusLegalizer::new(&work).legalize(&work, &mut lx, &mut ly);
+            let leg = AbacusLegalizer::new(&work);
+            obs.gauge(Gauge::LegalizeBands, leg.bands() as f64);
+            leg.legalize(&work, &mut lx, &mut ly);
         }
         LegalizerChoice::Tetris => {
-            Legalizer::new(&work).legalize(&work, &mut lx, &mut ly);
+            let leg = Legalizer::new(&work);
+            obs.gauge(Gauge::LegalizeBands, leg.bands() as f64);
+            leg.legalize(&work, &mut lx, &mut ly);
         }
     }
     obs.stop(Phase::Legalize, sp);

@@ -3,9 +3,9 @@
 //! The contract under test: observability is *pure telemetry*. With
 //! `observe = false` the flow must be bit-for-bit identical to an observed
 //! run; `FlowResult::timing_runtime` must equal the sum of the STA-phase
-//! spans either way; the JSONL stream must emit one valid JSON object per
-//! iteration; and at `--log-level warn` the CLI's stdout must contain
-//! nothing but the result line.
+//! spans either way; the v2 JSONL stream must emit a header record followed
+//! by one `iter` + `span` record pair per iteration; and at `--log-level
+//! warn` the CLI's stdout must contain nothing but the result line.
 
 use dtp_core::{run_flow, run_flow_observed, FlowConfig, FlowMode, FlowResult, Observer};
 use dtp_liberty::synth::synthetic_pdk;
@@ -122,7 +122,7 @@ fn timing_runtime_equals_sta_span_sum() {
 }
 
 #[test]
-fn jsonl_stream_emits_one_valid_object_per_iteration() {
+fn jsonl_stream_emits_header_then_two_records_per_iteration() {
     let d = design();
     let lib = synthetic_pdk();
     let cfg = FlowConfig { observe: true, ..base_config() };
@@ -132,18 +132,36 @@ fn jsonl_stream_emits_one_valid_object_per_iteration() {
     let r = run_flow_observed(&d, &lib, FlowMode::differentiable(), &cfg, &mut obs)
         .expect("flow runs");
     let text = String::from_utf8(buf.lock().unwrap().clone()).expect("JSONL is UTF-8");
+    // Schema v2: one header record, then an iter + span record pair per
+    // placement iteration.
     assert_eq!(
         text.lines().count(),
-        r.iterations,
-        "one JSONL event per placement iteration"
+        1 + 2 * r.iterations,
+        "header plus two JSONL records per placement iteration"
     );
     assert!(!text.contains("NaN"), "raw NaN token leaked into the stream");
-    assert!(!text.contains("inf"), "raw infinity token leaked into the stream");
+    for line in text.lines().skip(1) {
+        // The header legitimately contains "inf" inside the key name
+        // `inflation_max`; the per-iteration records must never carry a raw
+        // non-finite token.
+        assert!(!line.contains("inf"), "raw infinity token leaked: {line}");
+    }
     for (i, line) in text.lines().enumerate() {
         let v = json::parse(line).unwrap_or_else(|e| panic!("line {i} unparseable ({e}): {line}"));
-        assert_eq!(v.get("iter").and_then(|x| x.as_f64()), Some(i as f64));
-        let wns = v.get("wns").expect("wns member present");
-        assert!(wns.is_null() || wns.as_f64().is_some());
+        let tag = v.get("t").and_then(|t| t.as_str()).expect("record tag present");
+        if i == 0 {
+            assert_eq!(tag, "header", "first record must be the run header");
+            assert_eq!(v.get("schema").and_then(|s| s.as_str()), Some(dtp_obs::TRACE_SCHEMA));
+            assert_eq!(v.get("design").and_then(|s| s.as_str()), Some("obs-golden"));
+            continue;
+        }
+        let expect_iter = ((i - 1) / 2) as f64;
+        assert_eq!(tag, if i % 2 == 1 { "iter" } else { "span" });
+        assert_eq!(v.get("iter").and_then(|x| x.as_f64()), Some(expect_iter));
+        if i % 2 == 1 {
+            let wns = v.get("wns").expect("wns member present");
+            assert!(wns.is_null() || wns.as_f64().is_some());
+        }
     }
 }
 

@@ -87,7 +87,12 @@ fn tokenize(src: &str) -> Result<Vec<(Tok, usize)>, NetlistError> {
                 let start = i;
                 let mut end = i;
                 while let Some(&(j, c)) = chars.peek() {
+                    // `-` continues an identifier but cannot start one, so a
+                    // stray `-` still errors; our own ICCAD writer emits
+                    // hyphenated design names (`module obs-ci (...)`) and this
+                    // subset gives `-` no other lexical role.
                     if c.is_alphanumeric() || c == '_' || c == '\\' || c == '[' || c == ']' || c == '$'
+                        || (c == '-' && end > start)
                     {
                         end = j + c.len_utf8();
                         chars.next();
@@ -447,6 +452,20 @@ endmodule
             Err(NetlistError::Parse { kind: "verilog", line, .. }) => assert!(line >= 3),
             other => panic!("expected parse error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn hyphenated_identifiers_parse_but_stray_hyphen_errors() {
+        // `dtp gen` design names may contain `-` and the ICCAD writer emits
+        // them verbatim in the module header — the reader must accept them.
+        let src = "module obs-ci (a);\ninput a;\nwire z-1;\nINV_X1 g-0 ( .A(a), .Y(z-1) );\nendmodule";
+        let nl = parse_verilog(src).unwrap();
+        nl.validate().unwrap();
+        assert!(nl.find_cell("g-0").is_some());
+        assert!(nl.find_net("z-1").is_some());
+        // A `-` that does not continue an identifier is still a syntax error.
+        let bad = "module t (a);\ninput a;\n- INV_X1 g ( .A(a), .Y(z) );\nwire z;\nendmodule";
+        assert!(matches!(parse_verilog(bad), Err(NetlistError::Parse { kind: "verilog", .. })));
     }
 
     #[test]

@@ -35,11 +35,15 @@ pub enum Counter {
     TraceAnalyses,
     /// Top-K critical-path extractions (path-extraction mode).
     PathExtractions,
+    /// Global-placement iterations spent on coarse (clustered) V-cycle
+    /// levels; the per-record `level` field of the v2 trace attributes them
+    /// to individual levels.
+    CoarseIterations,
 }
 
 impl Counter {
     /// Number of counters (length of every per-counter array).
-    pub const COUNT: usize = 12;
+    pub const COUNT: usize = 13;
 
     /// Every counter, in slot order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -55,6 +59,7 @@ impl Counter {
         Counter::RudyIncUpdates,
         Counter::TraceAnalyses,
         Counter::PathExtractions,
+        Counter::CoarseIterations,
     ];
 
     /// Dense slot index of this counter.
@@ -78,7 +83,14 @@ impl Counter {
             Counter::RudyIncUpdates => "rudy_inc_updates",
             Counter::TraceAnalyses => "trace_analyses",
             Counter::PathExtractions => "path_extractions",
+            Counter::CoarseIterations => "coarse_iterations",
         }
+    }
+
+    /// Inverse of [`Counter::name`]: resolves a sink name back to the
+    /// counter (the v2 trace reader's lookup). `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<Counter> {
+        Counter::ALL.iter().copied().find(|c| c.name() == name)
     }
 }
 
@@ -104,11 +116,13 @@ pub enum Gauge {
     PoolDispatches,
     /// Worker-pool width (threads participating in a parallel region).
     PoolThreads,
+    /// Row bands the legalizer partitioned the core into (1 = serial scan).
+    LegalizeBands,
 }
 
 impl Gauge {
     /// Number of gauges (length of every per-gauge array).
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 10;
 
     /// Every gauge, in slot order.
     pub const ALL: [Gauge; Gauge::COUNT] = [
@@ -121,6 +135,7 @@ impl Gauge {
         Gauge::RsmtSeqRebuilds,
         Gauge::PoolDispatches,
         Gauge::PoolThreads,
+        Gauge::LegalizeBands,
     ];
 
     /// Dense slot index of this gauge.
@@ -141,6 +156,7 @@ impl Gauge {
             Gauge::RsmtSeqRebuilds => "rsmt_seq_rebuilds",
             Gauge::PoolDispatches => "pool_dispatches",
             Gauge::PoolThreads => "pool_threads",
+            Gauge::LegalizeBands => "legalize_bands",
         }
     }
 }

@@ -90,6 +90,14 @@ impl Value {
         }
     }
 
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The string value, if this is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -109,6 +117,39 @@ impl Value {
     /// Whether this is `null`.
     pub fn is_null(&self) -> bool {
         matches!(self, Value::Null)
+    }
+
+    /// Appends this value as compact JSON (objects keep member order, so a
+    /// parse → re-serialize round trip is byte-stable for sink output).
+    pub fn push_json(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(v) => push_f64(out, *v),
+            Value::Str(s) => push_str_escaped(out, s),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.push_json(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_str_escaped(out, k);
+                    out.push(':');
+                    v.push_json(out);
+                }
+                out.push('}');
+            }
+        }
     }
 }
 

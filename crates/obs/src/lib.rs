@@ -15,11 +15,15 @@
 //!    the health signals of the incremental subsystems: dirty-net counts,
 //!    incremental-vs-full STA fallbacks, table-vs-Prim Steiner backends,
 //!    FFT-vs-dense Poisson selection, pool dispatches, overflow bins.
-//! 3. **Structured sinks** — a per-iteration JSONL event stream
-//!    ([`write_jsonl_event`], `--trace-out`), an end-of-run `metrics.json`
-//!    ([`Report::to_json`], `--metrics-out`), and a human-readable phase
-//!    table ([`Report::table`], `--profile`). Non-finite floats serialize
-//!    as `null`; everything emitted parses back with [`json::parse`].
+//! 3. **Structured sinks** — the schema-v2 JSONL flight recorder
+//!    (`--trace-out`): one [`TraceHeader`] record carrying config, seed,
+//!    pool width, and design fingerprint, then per-iteration pairs of a
+//!    deterministic `iter` record ([`write_iter_record`]) and a wall-clock
+//!    `span` record ([`write_span_record`]); plus an end-of-run
+//!    `metrics.json` ([`Report::to_json`], `--metrics-out`) and a
+//!    human-readable phase table ([`Report::table`], `--profile`).
+//!    Non-finite floats serialize as `null`; every emitted line parses
+//!    back through [`trace::parse_record`] / [`json::parse`].
 //! 4. **Leveled logging facade** — [`error!`]/[`warn!`]/[`info!`]/
 //!    [`debug!`] gated by a process-global [`Level`].
 //!
@@ -43,14 +47,17 @@ pub mod log;
 mod phase;
 mod sink;
 mod span;
+pub mod trace;
 
 pub use counters::{Counter, Gauge, Registry};
 pub use log::Level;
 pub use phase::Phase;
 pub use sink::{
-    write_jsonl_event, IterEvent, PhaseReport, QorSummary, Report, METRICS_SCHEMA, TRACE_SCHEMA,
+    write_iter_record, write_span_record, IterEvent, PhaseReport, QorSummary, Report,
+    METRICS_SCHEMA, TRACE_SCHEMA,
 };
 pub use span::{IterRing, IterSample, PhaseSlot, SpanStart, SpanTable};
+pub use trace::{TraceHeader, TraceIter, TraceRecord, TraceSpan};
 
 use std::io::Write;
 
@@ -72,6 +79,8 @@ pub struct Observer {
     trace: Option<Box<dyn Write + Send>>,
     /// Latched on the first sink error so one bad disk doesn't spam.
     trace_failed: bool,
+    /// The design-source spec recorded in the trace header (for replay).
+    design_source: Option<String>,
 }
 
 impl Observer {
@@ -87,6 +96,7 @@ impl Observer {
             in_iter: false,
             trace: None,
             trace_failed: false,
+            design_source: None,
         }
     }
 
@@ -108,6 +118,34 @@ impl Observer {
     pub fn set_trace_writer(&mut self, w: Box<dyn Write + Send>) {
         self.trace = Some(w);
         self.trace_failed = false;
+    }
+
+    /// Records the design-source spec (e.g. the CLI design argument) so the
+    /// flow can stamp it into the trace header, enabling `dtp trace replay`
+    /// without a user-supplied design override.
+    pub fn set_design_source(&mut self, spec: &str) {
+        self.design_source = Some(spec.to_string());
+    }
+
+    /// The recorded design-source spec, if any.
+    pub fn design_source(&self) -> Option<&str> {
+        self.design_source.as_deref()
+    }
+
+    /// Writes the v2 trace header record to the attached sink, if any.
+    /// Call once, before the first iteration. Allocates (once per run).
+    pub fn emit_header(&mut self, header: &TraceHeader) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(w) = self.trace.as_mut() {
+            if !self.trace_failed {
+                if let Err(e) = header.write_jsonl(w.as_mut()) {
+                    self.trace_failed = true;
+                    crate::warn!("trace sink failed, disabling stream: {e}");
+                }
+            }
+        }
     }
 
     /// Starts a span. When observability is off, only [`Phase::is_sta`]
@@ -193,8 +231,11 @@ impl Observer {
         self.ring.push(sample);
         if let Some(w) = self.trace.as_mut() {
             if !self.trace_failed {
-                let res =
-                    write_jsonl_event(w.as_mut(), &ev, &sample.phase_ns, &sample.counter_delta);
+                // Deterministic convergence record first, then the
+                // wall-clock span record (diff/replay skip the latter).
+                let res = write_iter_record(w.as_mut(), &ev, &sample.counter_delta).and_then(
+                    |()| write_span_record(w.as_mut(), ev.iter, ev.level, &sample.phase_ns),
+                );
                 if let Err(e) = res {
                     self.trace_failed = true;
                     crate::warn!("trace sink failed, disabling stream: {e}");
@@ -291,11 +332,15 @@ mod tests {
         obs.iter_begin();
         obs.iter_end(IterEvent {
             iter: 0,
+            level: 0,
             wl: 1.0,
             hpwl: 1.0,
             overflow: 1.0,
+            lambda: 1.0,
+            step: f64::NAN,
             wns: f64::NAN,
             tns: f64::NAN,
+            timing: false,
         });
         assert_eq!(obs.registry().get(Counter::Iterations), 0);
         assert_eq!(obs.registry().gauge(Gauge::FftBackend), 0.0);
@@ -316,11 +361,15 @@ mod tests {
             obs.add(Counter::GeoDirtyNets, 4);
             obs.iter_end(IterEvent {
                 iter,
+                level: 0,
                 wl: 100.0 + iter as f64,
                 hpwl: f64::NAN,
                 overflow: 0.9,
+                lambda: 2e-4,
+                step: 10.0,
                 wns: f64::NAN,
                 tns: f64::NAN,
+                timing: false,
             });
         }
         obs.flush();
@@ -332,12 +381,73 @@ mod tests {
         // Totals accumulate across iterations.
         assert_eq!(obs.registry().get(Counter::GeoDirtyNets), 12);
         let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
-        assert_eq!(text.lines().count(), 3);
+        // One `iter` + one `span` record per iteration.
+        assert_eq!(text.lines().count(), 6);
         for (i, line) in text.lines().enumerate() {
-            let v = json::parse(line).expect("JSONL line parses");
-            assert_eq!(v.get("iter").unwrap().as_f64(), Some(i as f64));
-            assert!(v.get("wns").unwrap().is_null());
+            let rec = trace::parse_record(line).expect("JSONL line parses as a v2 record");
+            match rec {
+                TraceRecord::Iter(it) => {
+                    assert_eq!(i % 2, 0, "iter record out of order at line {i}");
+                    assert_eq!(it.iter, (i / 2) as u64);
+                    assert!(it.wns.is_nan());
+                    assert_eq!(it.counters[Counter::GeoDirtyNets.index()], 4);
+                }
+                TraceRecord::Span(sp) => {
+                    assert_eq!(i % 2, 1, "span record out of order at line {i}");
+                    assert_eq!(sp.iter, (i / 2) as u64);
+                    assert!(sp.phase_ns[Phase::DensityGrad.index()] > 0);
+                }
+                TraceRecord::Header(_) => panic!("unexpected header record"),
+            }
         }
+    }
+
+    #[test]
+    fn header_record_streams_before_iterations() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let mut obs = Observer::new(true);
+        obs.set_trace_writer(Box::new(SharedBuf(Arc::clone(&buf))));
+        obs.set_design_source("sb1");
+        let header = TraceHeader {
+            schema: TRACE_SCHEMA.to_string(),
+            mode: "wirelength".to_string(),
+            seed: 42,
+            threads: 0,
+            pool_threads: 2,
+            host_threads: 8,
+            design: "sb1".to_string(),
+            cells: 10,
+            nets: 9,
+            pins: 30,
+            region: [0.0, 0.0, 64.0, 64.0],
+            clock_period: 5000.0,
+            source: obs.design_source().map(str::to_string),
+            config: vec![("max_iters".to_string(), json::Value::Num(5.0))],
+            mode_config: vec![],
+        };
+        obs.emit_header(&header);
+        obs.iter_begin();
+        obs.iter_end(IterEvent {
+            iter: 0,
+            level: 0,
+            wl: 1.0,
+            hpwl: 1.0,
+            overflow: 0.5,
+            lambda: 1e-4,
+            step: 3.0,
+            wns: f64::NAN,
+            tns: f64::NAN,
+            timing: false,
+        });
+        obs.flush();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let TraceRecord::Header(h) = trace::parse_record(lines[0]).unwrap() else {
+            panic!("first record is not the header");
+        };
+        assert_eq!(h.source.as_deref(), Some("sb1"));
+        assert_eq!(h.pool_threads, 2);
     }
 
     #[test]

@@ -104,6 +104,12 @@ impl Phase {
         }
     }
 
+    /// Inverse of [`Phase::name`]: resolves a sink name back to the phase
+    /// (the v2 trace reader's lookup). `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<Phase> {
+        Phase::ALL.iter().copied().find(|p| p.name() == name)
+    }
+
     /// Whether this phase counts toward the flow's `timing_runtime`
     /// (the legacy hand-timed "wall-clock inside timing analysis" metric).
     ///

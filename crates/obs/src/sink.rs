@@ -16,53 +16,113 @@ use std::io::{self, Write};
 /// Identifies the `metrics.json` layout; bump on breaking shape changes.
 pub const METRICS_SCHEMA: &str = "dtp-metrics-v1";
 
-/// Identifies the JSONL event layout.
-pub const TRACE_SCHEMA: &str = "dtp-trace-v1";
+/// Identifies the JSONL trace layout (one header record, then per-iteration
+/// `iter`/`span` record pairs).
+pub const TRACE_SCHEMA: &str = "dtp-trace-v2";
 
 /// The QoR samples of one iteration, as handed to the JSONL sink.
 ///
-/// A superset of the flow's `TracePoint`: `hpwl`/`wns`/`tns` are `NAN` on
-/// iterations where they were not computed and serialize as `null`.
+/// A superset of the flow's `TracePoint`: `hpwl`/`wns`/`tns`/`step` are
+/// `NAN` on iterations where they were not computed and serialize as `null`.
 #[derive(Clone, Copy, Debug)]
 pub struct IterEvent {
-    /// Iteration index.
+    /// Iteration index (within its level).
     pub iter: u64,
+    /// V-cycle level: 0 = flat/fine placement, >0 = coarse clustered levels
+    /// (higher = coarser).
+    pub level: u32,
     /// Smoothed (weighted-average) wirelength from the gradient evaluation.
     pub wl: f64,
     /// Exact HPWL; `NAN` when not computed this iteration.
     pub hpwl: f64,
     /// Density overflow.
     pub overflow: f64,
+    /// Density-penalty multiplier λ used by this iteration's gradient.
+    pub lambda: f64,
+    /// Nesterov step length chosen this iteration; `NAN` when no step ran.
+    pub step: f64,
     /// Exact WNS (ps); `NAN` when untraced.
     pub wns: f64,
     /// Exact TNS (ps); `NAN` when untraced.
     pub tns: f64,
+    /// Whether timing-driven forces were active this iteration.
+    pub timing: bool,
 }
 
-/// Writes one JSONL event line: the iteration's QoR samples plus its
-/// per-phase nanoseconds and counter increments. One valid JSON object per
-/// line, `NAN`/infinities as `null`, no heap allocation.
+/// Writes one v2 `iter` record: the iteration's deterministic convergence
+/// fields plus its per-counter increments. One valid JSON object per line,
+/// `NAN`/infinities as `null`, no heap allocation.
+///
+/// Everything on an `iter` line is bit-for-bit reproducible for a fixed
+/// config/seed (at any pool width); wall-clock goes on the companion `span`
+/// line ([`write_span_record`]) so determinism checks can compare `iter`
+/// records byte-wise.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from `w`.
-pub fn write_jsonl_event(
+pub fn write_iter_record(
     w: &mut dyn Write,
     ev: &IterEvent,
-    phase_ns: &[u64; Phase::COUNT],
     counter_delta: &[u64; Counter::COUNT],
 ) -> io::Result<()> {
-    write!(w, "{{\"iter\":{},\"wl\":", ev.iter)?;
+    write!(
+        w,
+        "{{\"t\":\"iter\",\"iter\":{},\"level\":{},\"wl\":",
+        ev.iter, ev.level
+    )?;
     json::write_f64(w, ev.wl)?;
     w.write_all(b",\"hpwl\":")?;
     json::write_f64(w, ev.hpwl)?;
     w.write_all(b",\"overflow\":")?;
     json::write_f64(w, ev.overflow)?;
+    w.write_all(b",\"lambda\":")?;
+    json::write_f64(w, ev.lambda)?;
+    w.write_all(b",\"step\":")?;
+    json::write_f64(w, ev.step)?;
     w.write_all(b",\"wns\":")?;
     json::write_f64(w, ev.wns)?;
     w.write_all(b",\"tns\":")?;
     json::write_f64(w, ev.tns)?;
-    w.write_all(b",\"phase_ns\":{")?;
+    write!(
+        w,
+        ",\"timing\":{},\"counters\":{{",
+        if ev.timing { "true" } else { "false" }
+    )?;
+    let mut first = true;
+    for c in Counter::ALL {
+        let n = counter_delta[c.index()];
+        if n == 0 {
+            continue; // keep lines compact: counters that did not move are omitted
+        }
+        if !first {
+            w.write_all(b",")?;
+        }
+        first = false;
+        write!(w, "\"{}\":{}", c.name(), n)?;
+    }
+    w.write_all(b"}}\n")
+}
+
+/// Writes one v2 `span` record: the iteration's per-phase nanoseconds.
+/// One valid JSON object per line, no heap allocation.
+///
+/// Span records carry the only nondeterministic trace content (wall-clock),
+/// which is why they are separate lines: diff/replay skip them by default.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_span_record(
+    w: &mut dyn Write,
+    iter: u64,
+    level: u32,
+    phase_ns: &[u64; Phase::COUNT],
+) -> io::Result<()> {
+    write!(
+        w,
+        "{{\"t\":\"span\",\"iter\":{iter},\"level\":{level},\"phase_ns\":{{"
+    )?;
     let mut first = true;
     for p in Phase::ALL {
         let ns = phase_ns[p.index()];
@@ -74,19 +134,6 @@ pub fn write_jsonl_event(
         }
         first = false;
         write!(w, "\"{}\":{}", p.name(), ns)?;
-    }
-    w.write_all(b"},\"counters\":{")?;
-    let mut first = true;
-    for c in Counter::ALL {
-        let n = counter_delta[c.index()];
-        if n == 0 {
-            continue;
-        }
-        if !first {
-            w.write_all(b",")?;
-        }
-        first = false;
-        write!(w, "\"{}\":{}", c.name(), n)?;
     }
     w.write_all(b"}}\n")
 }
@@ -290,40 +337,59 @@ mod tests {
     }
 
     #[test]
-    fn jsonl_event_is_one_valid_object_per_line() {
+    fn iter_record_is_one_valid_object_per_line() {
         let mut buf: Vec<u8> = Vec::new();
         let ev = IterEvent {
             iter: 3,
+            level: 2,
             wl: 123.5,
             hpwl: f64::NAN,
             overflow: 0.7,
+            lambda: 1.5e-4,
+            step: f64::NAN,
             wns: f64::NAN,
             tns: f64::NEG_INFINITY,
+            timing: true,
         };
-        let mut ns = [0u64; Phase::COUNT];
-        ns[Phase::DensityGrad.index()] = 55;
         let mut cd = [0u64; Counter::COUNT];
         cd[Counter::Iterations.index()] = 1;
-        write_jsonl_event(&mut buf, &ev, &ns, &cd).unwrap();
-        write_jsonl_event(&mut buf, &ev, &ns, &cd).unwrap();
+        write_iter_record(&mut buf, &ev, &cd).unwrap();
+        write_iter_record(&mut buf, &ev, &cd).unwrap();
         let text = String::from_utf8(buf).unwrap();
         assert_eq!(text.lines().count(), 2);
         for line in text.lines() {
             let v = crate::json::parse(line).expect("line parses");
+            assert_eq!(v.get("t").unwrap().as_str(), Some("iter"));
             assert_eq!(v.get("iter").unwrap().as_f64(), Some(3.0));
+            assert_eq!(v.get("level").unwrap().as_f64(), Some(2.0));
             assert!(v.get("hpwl").unwrap().is_null());
+            assert_eq!(v.get("lambda").unwrap().as_f64(), Some(1.5e-4));
+            assert!(v.get("step").unwrap().is_null());
             assert!(v.get("wns").unwrap().is_null());
             assert!(v.get("tns").unwrap().is_null(), "-inf must serialize as null");
-            assert_eq!(
-                v.get("phase_ns").unwrap().get("density_grad").unwrap().as_f64(),
-                Some(55.0)
-            );
+            assert_eq!(v.get("timing").unwrap().as_bool(), Some(true));
             assert_eq!(
                 v.get("counters").unwrap().get("iterations").unwrap().as_f64(),
                 Some(1.0)
             );
         }
         assert!(!text.contains("NaN"), "raw NaN token leaked into JSONL");
+    }
+
+    #[test]
+    fn span_record_carries_only_nonzero_phases() {
+        let mut buf: Vec<u8> = Vec::new();
+        let mut ns = [0u64; Phase::COUNT];
+        ns[Phase::DensityGrad.index()] = 55;
+        write_span_record(&mut buf, 7, 1, &ns).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let v = crate::json::parse(text.trim()).expect("line parses");
+        assert_eq!(v.get("t").unwrap().as_str(), Some("span"));
+        assert_eq!(v.get("iter").unwrap().as_f64(), Some(7.0));
+        assert_eq!(v.get("level").unwrap().as_f64(), Some(1.0));
+        let phase_ns = v.get("phase_ns").unwrap();
+        assert_eq!(phase_ns.get("density_grad").unwrap().as_f64(), Some(55.0));
+        assert!(phase_ns.get("legalize").is_none(), "zero phase serialized");
     }
 
     #[test]

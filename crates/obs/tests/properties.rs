@@ -1,9 +1,10 @@
 //! Property tests for the structured sinks: for arbitrary counter/phase
 //! states — including the NAN/±inf QoR samples of untraced iterations —
-//! the JSONL writer must emit exactly one valid, parseable JSON object per
-//! line, and `metrics.json` must always parse.
+//! the v2 JSONL writers must emit exactly one valid record per line, every
+//! line must round-trip through the strict trace reader, and re-serializing
+//! the parsed record must reproduce the input bytes.
 
-use dtp_obs::{json, write_jsonl_event, Counter, IterEvent, Phase};
+use dtp_obs::{trace, Counter, IterEvent, Phase, TraceRecord};
 use proptest::prelude::*;
 
 /// Maps a raw u64 onto an "interesting" f64: finite values plus the
@@ -22,16 +23,16 @@ fn telemetry_f64(raw: u64, scale: f64) -> f64 {
 
 proptest! {
     #[test]
-    fn jsonl_lines_always_parse(
+    fn v2_records_round_trip_through_the_reader(
         iters in proptest::collection::vec(
-            (0u64..1_000_000, 0u64..u64::MAX, 0u64..u64::MAX),
+            (0u64..1_000_000, 0u32..6, 0u64..u64::MAX, 0u64..u64::MAX),
             1..20
         ),
         ns_seed in 0u64..u64::MAX,
         cd_seed in 0u64..u64::MAX,
     ) {
         let mut buf: Vec<u8> = Vec::new();
-        for &(iter, qa, qb) in &iters {
+        for &(iter, level, qa, qb) in &iters {
             // Arbitrary per-phase nanoseconds (sparse: some slots zero).
             let mut phase_ns = [0u64; Phase::COUNT];
             for (i, slot) in phase_ns.iter_mut().enumerate() {
@@ -47,33 +48,53 @@ proptest! {
             }
             let ev = IterEvent {
                 iter,
+                level,
                 wl: telemetry_f64(qa, 1.0),
                 hpwl: telemetry_f64(qa.rotate_left(13), 1e3),
                 overflow: telemetry_f64(qb, 1e-3),
+                lambda: telemetry_f64(qb.rotate_left(7), 1e-6),
+                step: telemetry_f64(qa.rotate_left(41), 1e-2),
                 wns: telemetry_f64(qb.rotate_left(27), -1.0),
                 tns: telemetry_f64(qa ^ qb, -1e2),
+                timing: qa % 2 == 0,
             };
-            write_jsonl_event(&mut buf, &ev, &phase_ns, &counter_delta).unwrap();
+            dtp_obs::write_iter_record(&mut buf, &ev, &counter_delta).unwrap();
+            dtp_obs::write_span_record(&mut buf, iter, level, &phase_ns).unwrap();
         }
         let text = String::from_utf8(buf).expect("sink output is UTF-8");
-        // Exactly one line per event...
-        prop_assert_eq!(text.lines().count(), iters.len());
+        // Exactly two lines per iteration (iter + span)...
+        prop_assert_eq!(text.lines().count(), 2 * iters.len());
         prop_assert!(text.ends_with('\n'));
-        // ...and every line is a standalone valid JSON object with the
-        // expected members; no NaN/Infinity token ever leaks.
+        // ...no NaN/Infinity token ever leaks...
         prop_assert!(!text.contains("NaN") && !text.contains("inf"));
-        for (line, &(iter, _, _)) in text.lines().zip(&iters) {
-            let v = match json::parse(line) {
-                Ok(v) => v,
+        // ...and every line round-trips: strict parse, then byte-identical
+        // re-serialization.
+        for (i, line) in text.lines().enumerate() {
+            let rec = match trace::parse_record(line) {
+                Ok(r) => r,
                 Err(e) => return Err(TestCaseError::Fail(format!("bad line {line:?}: {e}"))),
             };
-            prop_assert_eq!(v.get("iter").and_then(|x| x.as_f64()), Some(iter as f64));
-            for key in ["wl", "hpwl", "overflow", "wns", "tns"] {
-                let field = v.get(key).expect("QoR member present");
-                prop_assert!(field.is_null() || field.as_f64().is_some());
+            let (iter, level, _, _) = iters[i / 2];
+            let mut rewritten = Vec::new();
+            match rec {
+                TraceRecord::Iter(it) => {
+                    prop_assert_eq!(i % 2, 0, "iter record on an odd line");
+                    prop_assert_eq!(it.iter, iter);
+                    prop_assert_eq!(it.level, level);
+                    it.write_jsonl(&mut rewritten).unwrap();
+                }
+                TraceRecord::Span(sp) => {
+                    prop_assert_eq!(i % 2, 1, "span record on an even line");
+                    prop_assert_eq!(sp.iter, iter);
+                    prop_assert_eq!(sp.level, level);
+                    sp.write_jsonl(&mut rewritten).unwrap();
+                }
+                TraceRecord::Header(_) => {
+                    return Err(TestCaseError::Fail("unexpected header record".into()));
+                }
             }
-            prop_assert!(v.get("phase_ns").is_some());
-            prop_assert!(v.get("counters").is_some());
+            let rewritten = String::from_utf8(rewritten).unwrap();
+            prop_assert_eq!(rewritten.trim_end(), line, "re-serialization not byte-stable");
         }
     }
 }

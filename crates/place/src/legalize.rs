@@ -66,6 +66,14 @@ impl Legalizer {
         }
     }
 
+    /// Number of row bands the legalizer will partition the core into
+    /// (1 = a single serial scan). Depends only on the band policy and the
+    /// design, never on the thread count; the flow reports it as the
+    /// `legalize_bands` gauge.
+    pub fn bands(&self) -> usize {
+        self.row_y.len().div_ceil(self.effective_band_rows().max(1)).max(1)
+    }
+
     /// Legalizes `(xs, ys)` in place and returns the total and maximum cell
     /// displacement `(total, max)`.
     ///
